@@ -1,0 +1,65 @@
+"""E3 — Decision-cache behavior over a session stream (figure).
+
+Series: cumulative cache hit rate and mean decision latency as requests
+accumulate. Expected shape: hit rate climbs toward 1 as the workload's
+query templates are all seen; decision latency drops correspondingly.
+"""
+
+import random
+import time
+
+from repro.bench.harness import print_figure_series
+from repro.enforce import DecisionCache
+from repro.workloads.runner import AppRunner
+
+from conftest import fresh_app
+
+CHECKPOINTS = [10, 25, 50, 100, 200]
+
+
+def cache_series():
+    app, db = fresh_app("calendar", size=20)
+    policy = app.ground_truth_policy()
+    cache = DecisionCache(policy)
+    runner = AppRunner(app, db, mode="proxy", policy=policy, cache=cache)
+    requests = app.request_stream(db, random.Random(8), max(CHECKPOINTS))
+    hit_rates = []
+    mean_check_us = []
+    served = 0
+    for checkpoint in CHECKPOINTS:
+        batch = requests[served:checkpoint]
+        runner.run_all(batch)
+        served = checkpoint
+        hit_rates.append(round(cache.hit_rate, 3))
+        total_checks = sum(
+            p.stats.allowed + p.stats.blocked for p in runner.proxies()
+        )
+        total_seconds = sum(p.stats.check_seconds for p in runner.proxies())
+        mean_check_us.append(round(total_seconds / max(total_checks, 1) * 1e6, 1))
+    return hit_rates, mean_check_us
+
+
+def test_e3_cache_hit_rate(benchmark, capsys):
+    app, db = fresh_app("calendar", size=20)
+    policy = app.ground_truth_policy()
+    cache = DecisionCache(policy)
+    runner = AppRunner(app, db, mode="proxy", policy=policy, cache=cache)
+    warmup = app.request_stream(db, random.Random(8), 50)
+    runner.run_all(warmup)
+    probe = warmup[:10]
+
+    def cached_pass():
+        runner.run_all(probe)
+
+    benchmark.pedantic(cached_pass, rounds=20, iterations=1)
+    assert cache.hit_rate > 0.5
+
+    with capsys.disabled():
+        hit_rates, mean_check_us = cache_series()
+        print_figure_series(
+            "E3",
+            "decision cache over a session stream",
+            "requests",
+            CHECKPOINTS,
+            {"hit rate": hit_rates, "mean decision µs": mean_check_us},
+        )

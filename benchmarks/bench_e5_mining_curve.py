@@ -1,0 +1,58 @@
+"""E5 — Black-box mining learning curve (§3.2.2, figure).
+
+Series: precision and recall of the mined policy as the number of
+observed request traces grows. Expected shape: recall climbs to 1.0 as
+coverage improves; precision stays at 1.0 throughout (with hints and
+active discovery on, the miner never over-generalizes on these apps).
+"""
+
+import random
+
+from repro.bench.harness import print_figure_series
+from repro.extract.miner import MinerConfig, TraceMiner
+from repro.policy.compare import compare_policies
+
+from conftest import OPAQUE_HINTS, fresh_app
+
+TRACE_COUNTS = [1, 2, 5, 10, 25, 50, 100]
+
+
+def learning_curve():
+    app, db = fresh_app("calendar", size=14, seed=5)
+    truth = app.ground_truth_policy()
+    requests = app.request_stream(db, random.Random(6), max(TRACE_COUNTS))
+    precision, recall, views = [], [], []
+    for count in TRACE_COUNTS:
+        miner = TraceMiner(
+            app, db, MinerConfig(opaque_columns=OPAQUE_HINTS["calendar"])
+        )
+        policy = miner.mine(requests[:count])
+        comparison = compare_policies(policy, truth)
+        precision.append(round(comparison.precision, 2))
+        recall.append(round(comparison.recall, 2))
+        views.append(len(policy))
+    return precision, recall, views
+
+
+def test_e5_mining_learning_curve(benchmark, capsys):
+    app, db = fresh_app("calendar", size=14, seed=5)
+    requests = app.request_stream(db, random.Random(6), 25)
+
+    def mine_25():
+        miner = TraceMiner(
+            app, db, MinerConfig(opaque_columns=OPAQUE_HINTS["calendar"])
+        )
+        return miner.mine(requests)
+
+    policy = benchmark.pedantic(mine_25, rounds=5, iterations=1)
+    assert len(policy) >= 3
+
+    with capsys.disabled():
+        precision, recall, views = learning_curve()
+        print_figure_series(
+            "E5",
+            "mining quality vs observed traces (calendar)",
+            "traces",
+            TRACE_COUNTS,
+            {"precision": precision, "recall": recall, "views": views},
+        )

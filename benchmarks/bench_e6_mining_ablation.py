@@ -1,0 +1,162 @@
+"""E6 — Ablation of the §3.2.2 generalization controls (table).
+
+The paper proposes three controls against over/under-generalization:
+a policy-size budget, opaque-identifier hints, and active constraint
+discovery. Each row disables one control in a scenario constructed to
+need it; the quality drop (or policy blow-up) quantifies the control's
+contribution.
+"""
+
+from repro.bench.harness import print_table
+from repro.extract.miner import MinerConfig, TraceMiner
+from repro.policy.compare import compare_policies
+from repro.workloads.runner import Request
+
+from conftest import OPAQUE_HINTS, fresh_app
+
+
+def scenario_sparse_traces():
+    """One trace per handler: singleton constants everywhere — the hints
+    control must generalize them."""
+    app, db = fresh_app("calendar", size=14, seed=5)
+    uid, eid = db.query("SELECT UId, EId FROM Attendance").first()
+    requests = [
+        Request("show_event", {"event_id": eid}, {"user_id": uid}),
+        Request("my_profile", {}, {"user_id": uid}),
+    ]
+    return app, db, requests
+
+
+def scenario_single_attendance():
+    """A user with exactly one attended event: only the active probe can
+    tell the data-derived event id from a code constant."""
+    app, db = fresh_app("calendar", size=14, seed=5)
+    db.sql("INSERT INTO Users VALUES (100, 'solo')")
+    db.sql("INSERT INTO Attendance VALUES (100, 3)")
+    return app, db, [Request("my_events", {}, {"user_id": 100})]
+
+
+def scenario_budget_pressure():
+    """Sparse traces with hints off: only budget pressure forces the
+    per-event constants to generalize ("insist the policy be small",
+    §3.2.2's first control)."""
+    return scenario_sparse_traces()
+
+
+def run(app, db, requests, config):
+    miner = TraceMiner(app, db, config)
+    policy = miner.mine(requests)
+    comparison = compare_policies(policy, app.ground_truth_policy())
+    return policy, comparison, miner.report
+
+
+def ablation_rows():
+    hints = OPAQUE_HINTS["calendar"]
+    rows = []
+
+    app, db, requests = scenario_sparse_traces()
+    full = run(app, db, requests, MinerConfig(opaque_columns=hints))
+    no_hints = run(app, db, requests, MinerConfig(opaque_columns=frozenset()))
+    rows.append(
+        (
+            "sparse traces",
+            "full config",
+            len(full[0]),
+            f"{full[1].precision:.2f}",
+            f"{full[1].recall:.2f}",
+        )
+    )
+    rows.append(
+        (
+            "sparse traces",
+            "hints OFF",
+            len(no_hints[0]),
+            f"{no_hints[1].precision:.2f}",
+            f"{no_hints[1].recall:.2f}",
+        )
+    )
+
+    app, db, requests = scenario_single_attendance()
+    active = run(
+        app, db, requests, MinerConfig(opaque_columns=frozenset(), active_discovery=True)
+    )
+    passive = run(
+        app,
+        db,
+        requests,
+        MinerConfig(opaque_columns=frozenset(), active_discovery=False),
+    )
+    rows.append(
+        (
+            "single attendance",
+            "active ON",
+            len(active[0]),
+            f"{active[1].precision:.2f}",
+            f"{active[1].recall:.2f}",
+        )
+    )
+    rows.append(
+        (
+            "single attendance",
+            "active OFF",
+            len(passive[0]),
+            f"{passive[1].precision:.2f}",
+            f"{passive[1].recall:.2f}",
+        )
+    )
+
+    app, db, requests = scenario_budget_pressure()
+    unbudgeted = run(
+        app,
+        db,
+        requests,
+        MinerConfig(opaque_columns=frozenset(), active_discovery=False, size_budget=None),
+    )
+    budgeted = run(
+        app,
+        db,
+        requests,
+        MinerConfig(opaque_columns=frozenset(), active_discovery=False, size_budget=2),
+    )
+    rows.append(
+        (
+            "sparse, hints OFF",
+            "budget OFF",
+            len(unbudgeted[0]),
+            f"{unbudgeted[1].precision:.2f}",
+            f"{unbudgeted[1].recall:.2f}",
+        )
+    )
+    rows.append(
+        (
+            "sparse, hints OFF",
+            "budget = 2",
+            len(budgeted[0]),
+            f"{budgeted[1].precision:.2f}",
+            f"{budgeted[1].recall:.2f}",
+        )
+    )
+    return rows
+
+
+def test_e6_mining_ablation(benchmark, capsys):
+    app, db, requests = scenario_single_attendance()
+
+    def active_run():
+        return run(
+            app,
+            db,
+            requests,
+            MinerConfig(opaque_columns=frozenset(), active_discovery=True),
+        )
+
+    policy, comparison, _ = benchmark.pedantic(active_run, rounds=10, iterations=1)
+    assert comparison.precision == 1.0
+
+    with capsys.disabled():
+        print_table(
+            "E6",
+            "ablating the three §3.2.2 generalization controls (calendar)",
+            ["scenario", "config", "views", "precision", "recall"],
+            ablation_rows(),
+        )

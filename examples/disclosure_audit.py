@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Policy evaluation (§4): audit a policy for sensitive-data disclosure.
+
+The hospital scenario of Example 4.1: staff may see patient→doctor
+assignments and doctor→disease specialties; a patient's disease is
+sensitive. The audit runs
+
+* the prior-agnostic checkers (PQI/NQI, with the integrity constraint
+  supplied as a TGD),
+* a k-anonymity measurement of a quasi-identifier release, and
+* the Bayesian baseline across a sweep of adversary priors — showing why
+  the paper argues priors can't anchor a usable criterion.
+
+Run:  python examples/disclosure_audit.py
+"""
+
+import random
+
+from repro.evaluate.answers import images_of
+from repro.evaluate.bayes import ChoicePrior, posterior_over_sensitive
+from repro.evaluate.kanon import (
+    age_hierarchy,
+    categorical_hierarchy,
+    find_minimal_generalization,
+    k_anonymity,
+    zip_hierarchy,
+)
+from repro.evaluate.nqi import check_nqi
+from repro.evaluate.pqi import check_pqi
+from repro.relalg.chase import TGD
+from repro.relalg.cq import Atom, Var
+from repro.relalg.translate import translate_select
+from repro.sqlir.parser import parse_select
+from repro.workloads import employees, hospital
+
+
+def hospital_audit() -> None:
+    print("=== Example 4.1: hospital policy vs a patient's disease ===")
+    db = hospital.make_database(size=8, seed=11)
+    views = hospital.ground_truth_policy().view_defs({})
+    sensitive = translate_select(
+        parse_select("SELECT Disease FROM PatientConditions WHERE PId = 1"),
+        db.schema,
+    ).disjuncts[0]
+    constraint = TGD(
+        body=(Atom("PatientConditions", (Var("p"), Var("d"))),),
+        head=(
+            Atom("Patients", (Var("p"), Var("n"), Var("doc"))),
+            Atom("DoctorDiseases", (Var("doc"), Var("d"))),
+        ),
+        name="a condition is treated by the assigned doctor",
+    )
+    print(check_pqi(sensitive, views, constraints=[constraint]).explain())
+    print(check_nqi(sensitive, views, constraints=[constraint]).explain())
+
+    # The Bayesian baseline, under three different adversary priors.
+    print("\nBayesian belief about John's disease (posterior of top answer):")
+    contents = db.relation_contents()
+    observed = images_of(views, contents)
+    fixed = {r: rows for r, rows in contents.items() if r != "PatientConditions"}
+    doctor_of = {p: doc for (p, _, doc) in contents["Patients"]}
+    treats: dict = {}
+    for doc, disease in contents["DoctorDiseases"]:
+        treats.setdefault(doc, []).append(disease)
+    for tilt in (0.05, 0.5, 0.95):
+        groups = []
+        for pid in sorted(doctor_of):
+            options = sorted(treats[doctor_of[pid]])
+            weights = (
+                [1.0]
+                if len(options) == 1
+                else [
+                    tilt if d == options[0] else (1 - tilt) / (len(options) - 1)
+                    for d in options
+                ]
+            )
+            groups.append([((pid, d), w) for d, w in zip(options, weights)])
+        prior = ChoicePrior(fixed=fixed, choices={"PatientConditions": groups})
+        report = posterior_over_sensitive(
+            prior, views, observed, sensitive, samples=1500, rng=random.Random(0)
+        )
+        top = report.top_posterior()
+        answer = sorted(top[0])[0][0] if top and top[0] else "(none)"
+        print(
+            f"  prior tilt {tilt:.2f}: top answer {answer!r}"
+            f" with posterior {top[1]:.2f}" if top else "  (no posterior)"
+        )
+    print(
+        "  → the Bayesian verdict moves with the prior; PQI/NQI above"
+        " are fixed.\n"
+    )
+
+
+def kanon_audit() -> None:
+    print("=== k-anonymity of an employee quasi-identifier release ===")
+    db = employees.make_database(size=40, seed=13)
+    rows = db.query("SELECT Age, Dept, ZIP, Salary FROM Employees").rows
+    quasi = [0, 1, 2]
+    print(f"raw release: k = {k_anonymity(rows, quasi)}")
+    result = find_minimal_generalization(
+        rows,
+        quasi,
+        [age_hierarchy(), categorical_hierarchy("dept"), zip_hierarchy()],
+        k=3,
+        max_suppressed=4,
+    )
+    if result is None:
+        print("no generalization achieves k = 3")
+        return
+    print(
+        f"minimal generalization to k = 3: levels {result.levels},"
+        f" {result.suppressed} row(s) suppressed, achieved k = {result.k}"
+    )
+    print(f"sample generalized row: {result.rows[0]}")
+
+
+def main() -> None:
+    hospital_audit()
+    kanon_audit()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Benchmark support: table and figure-series printers shared by benches."""
+
+from repro.bench.harness import print_figure_series, print_table, record_result
+
+__all__ = ["print_figure_series", "print_table", "record_result"]

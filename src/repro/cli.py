@@ -1,0 +1,285 @@
+"""Command-line interface: the paper's life-cycle as four subcommands.
+
+::
+
+    python -m repro demo                                   # Example 2.1, live
+    python -m repro extract --app calendar --method symbolic
+    python -m repro extract --app calendar --method mine --traces 100
+    python -m repro enforce --app social --user 3 --sql "SELECT * FROM Posts"
+    python -m repro audit --app hospital --sensitive \\
+        "SELECT Disease FROM PatientConditions WHERE PId = 1" --constraints
+    python -m repro diagnose --app calendar --user 1 --sql \\
+        "SELECT * FROM Events WHERE EId = 2"
+
+Every subcommand operates on one of the bundled workload applications
+(``--app calendar|hospital|employees|social``) and prints human-readable
+output; ``extract --out FILE`` writes the policy in the text format
+``repro.policy.serialize`` reads back.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.enforce import EnforcementProxy, PolicyViolation, Session
+from repro.policy import compare_policies, policy_to_text
+from repro.relalg.chase import TGD
+from repro.relalg.cq import Atom, Var
+from repro.relalg.translate import translate_select
+from repro.sqlir.params import bind_parameters
+from repro.sqlir.parser import parse_select
+from repro.util.errors import DbacError
+
+
+def _apps():
+    from repro.workloads import calendar_app, employees, hospital, social
+
+    return {
+        "calendar": calendar_app,
+        "hospital": hospital,
+        "employees": employees,
+        "social": social,
+    }
+
+
+def _load_app(name: str, size: int | None, seed: int):
+    module = _apps()[name]
+    app = module.make_app()
+    db = app.make_database(size or app.default_size, seed)
+    return app, db
+
+
+def _hospital_constraints() -> list[TGD]:
+    return [
+        TGD(
+            body=(Atom("PatientConditions", (Var("p"), Var("d"))),),
+            head=(
+                Atom("Patients", (Var("p"), Var("n"), Var("doc"))),
+                Atom("DoctorDiseases", (Var("doc"), Var("d"))),
+            ),
+            name="condition-treated-by-assigned-doctor",
+        )
+    ]
+
+
+# --------------------------------------------------------------------------
+# Subcommands
+# --------------------------------------------------------------------------
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    app, db = _load_app("calendar", args.size, args.seed)
+    if db.query("SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2").is_empty():
+        db.sql("INSERT INTO Attendance VALUES (1, 2)")
+    policy = app.ground_truth_policy()
+    proxy = EnforcementProxy(db, policy, Session.for_user(1))
+    print("Example 2.1 against live data (user 1):")
+    q1 = proxy.query("SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2")
+    print(f"  Q1 -> ALLOW ({len(q1)} row)")
+    q2 = proxy.query("SELECT * FROM Events WHERE EId = 2")
+    print(f"  Q2 -> ALLOW given Q1's answer; event: {q2.first()}")
+    fresh = EnforcementProxy(db, policy, Session.for_user(1))
+    try:
+        fresh.query("SELECT * FROM Events WHERE EId = 2")
+        print("  Q2 (fresh session) -> ALLOW (unexpected!)")
+        return 1
+    except PolicyViolation:
+        print("  Q2 (fresh session) -> BLOCK, as the paper prescribes")
+    return 0
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    app, db = _load_app(args.app, args.size, args.seed)
+    if args.method == "symbolic":
+        from repro.extract.symbolic import SymbolicExtractor
+
+        extractor = SymbolicExtractor(db.schema)
+        policy, report = extractor.extract(list(app.handlers.values()))
+        print(f"explored paths: {report.paths_explored}")
+    else:
+        from repro.extract.miner import MinerConfig, TraceMiner
+
+        requests = app.request_stream(db, random.Random(args.seed), args.traces)
+        miner = TraceMiner(app, db, MinerConfig())
+        policy = miner.mine(requests)
+        print(
+            f"observed {miner.report.traces} traces,"
+            f" {miner.report.events} queries,"
+            f" {miner.report.guarded_templates} guarded template(s)"
+        )
+    text = policy_to_text(policy)
+    print(text)
+    comparison = compare_policies(policy, app.ground_truth_policy())
+    print(f"vs bundled ground truth: {comparison.describe()}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"written to {args.out}")
+    return 0
+
+
+def cmd_enforce(args: argparse.Namespace) -> int:
+    app, db = _load_app(args.app, args.size, args.seed)
+    policy = app.ground_truth_policy()
+    proxy = EnforcementProxy(
+        db, policy, Session.for_user(args.user), record_decisions=True
+    )
+    for sql in args.sql:
+        try:
+            result = proxy.query(sql)
+            decision = proxy.stats.decisions[-1]
+            print(f"ALLOW ({len(result)} rows): {sql}")
+            if args.explain:
+                print(decision.explain())
+        except PolicyViolation as violation:
+            if args.explain:
+                print(violation.decision.explain())
+            else:
+                print(violation.decision.describe())
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.evaluate.nqi import check_nqi
+    from repro.evaluate.pqi import check_pqi
+
+    app, db = _load_app(args.app, args.size, args.seed)
+    policy = app.ground_truth_policy()
+    bindings = {"MyUId": args.user} if "MyUId" in policy.param_names() else {}
+    views = policy.view_defs(bindings)
+    try:
+        stmt = parse_select(args.sensitive)
+        sensitive = translate_select(stmt, db.schema).disjuncts[0]
+    except DbacError as exc:
+        print(f"cannot analyze sensitive query: {exc}", file=sys.stderr)
+        return 2
+    constraints = (
+        _hospital_constraints() if args.constraints and args.app == "hospital" else None
+    )
+    pqi = check_pqi(sensitive, views, constraints=constraints)
+    nqi = check_nqi(sensitive, views, constraints=constraints)
+    print(f"policy: {policy.name} ({len(policy)} views), bindings: {bindings}")
+    print(pqi.explain())
+    print(nqi.explain())
+    return 0 if not (pqi.holds or nqi.holds) else 1
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.policy import lint_policy, policy_from_text
+
+    app, db = _load_app(args.app, args.size, args.seed)
+    if args.policy_file:
+        with open(args.policy_file, encoding="utf-8") as handle:
+            policy = policy_from_text(handle.read(), db.schema)
+    else:
+        policy = app.ground_truth_policy()
+    findings = lint_policy(policy)
+    if not findings:
+        print(f"{policy.name}: no findings")
+        return 0
+    for finding in findings:
+        print(finding.describe())
+    warnings = sum(1 for f in findings if f.severity == "warning")
+    return 1 if warnings else 0
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.diagnose import diagnose
+
+    app, db = _load_app(args.app, args.size, args.seed)
+    policy = app.ground_truth_policy()
+    bindings = {"MyUId": args.user}
+    stmt = bind_parameters(parse_select(args.sql))
+    checker_report = diagnose(stmt, bindings, policy, db.schema)
+    print(checker_report.describe())
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Argument parsing
+# --------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Access control for database applications, beyond enforcement.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, app_required=True):
+        if app_required:
+            p.add_argument(
+                "--app",
+                choices=sorted(_apps()),
+                required=True,
+                help="bundled workload application",
+            )
+        p.add_argument("--size", type=int, default=None, help="database scale")
+        p.add_argument("--seed", type=int, default=7, help="data/workload seed")
+
+    demo = sub.add_parser("demo", help="run Example 2.1 end to end")
+    common(demo, app_required=False)
+    demo.set_defaults(func=cmd_demo)
+
+    extract = sub.add_parser("extract", help="extract a draft policy (§3)")
+    common(extract)
+    extract.add_argument(
+        "--method", choices=["symbolic", "mine"], default="symbolic"
+    )
+    extract.add_argument(
+        "--traces", type=int, default=100, help="requests to observe (mine)"
+    )
+    extract.add_argument("--out", help="write the policy to this file")
+    extract.set_defaults(func=cmd_extract)
+
+    enforce = sub.add_parser("enforce", help="vet and run queries (§2.2)")
+    common(enforce)
+    enforce.add_argument("--user", type=int, default=1)
+    enforce.add_argument("--sql", action="append", required=True)
+    enforce.add_argument(
+        "--explain", action="store_true", help="print the decision justification"
+    )
+    enforce.set_defaults(func=cmd_enforce)
+
+    audit = sub.add_parser("audit", help="check PQI/NQI for a sensitive query (§4)")
+    common(audit)
+    audit.add_argument("--user", type=int, default=1)
+    audit.add_argument("--sensitive", required=True)
+    audit.add_argument(
+        "--constraints",
+        action="store_true",
+        help="apply the app's integrity constraints as background knowledge",
+    )
+    audit.set_defaults(func=cmd_audit)
+
+    lint = sub.add_parser("lint", help="sanity-check a policy (§4 intro)")
+    common(lint)
+    lint.add_argument(
+        "--policy-file", help="lint this policy file instead of the bundled one"
+    )
+    lint.set_defaults(func=cmd_lint)
+
+    diag = sub.add_parser("diagnose", help="diagnose a blocked query (§5)")
+    common(diag)
+    diag.add_argument("--user", type=int, default=1)
+    diag.add_argument("--sql", required=True)
+    diag.set_defaults(func=cmd_diagnose)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except DbacError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""Violation diagnosis (§5): what to do when a query gets blocked.
+
+* :mod:`repro.diagnose.counterexample` — a proof-of-violation: two
+  databases agreeing on every view (and the trace) but disagreeing on the
+  blocked query.
+* :mod:`repro.diagnose.rewrite` — query-narrowing patches (§5.2.2, form
+  1): maximally contained rewritings of the blocked query using the
+  policy views, rendered back to SQL the developer can paste in.
+* :mod:`repro.diagnose.abduce` — access-check patches (§5.2.2, form 2):
+  abductively inferred statements about database content that, once
+  checked by the application, make the blocked query compliant.
+* :mod:`repro.diagnose.patches` — the patch objects and their validation.
+* :mod:`repro.diagnose.report` — ties everything into a human-readable
+  diagnosis, including generated policy patches (§5.2.1) and the
+  paper's "who is the likely culprit" heuristic.
+"""
+
+from repro.diagnose.counterexample import Counterexample, find_counterexample
+from repro.diagnose.patches import (
+    AccessCheckPatch,
+    PolicyPatch,
+    QueryNarrowingPatch,
+)
+from repro.diagnose.rewrite import narrowing_patches
+from repro.diagnose.abduce import access_check_patches
+from repro.diagnose.report import DiagnosisReport, diagnose
+
+__all__ = [
+    "AccessCheckPatch",
+    "Counterexample",
+    "DiagnosisReport",
+    "PolicyPatch",
+    "QueryNarrowingPatch",
+    "access_check_patches",
+    "diagnose",
+    "find_counterexample",
+    "narrowing_patches",
+]

@@ -1,0 +1,211 @@
+"""Access-check synthesis via abductive inference (§5.2.2).
+
+The task: find a statement ``H`` about database content such that
+
+1. once known (with the existing trace), ``H`` makes the blocked query
+   compliant, and
+2. ``H`` is consistent with the trace.
+
+This is abduction — "an explanatory hypothesis for a desired outcome"
+(Dillig et al.), the desired outcome being policy compliance. Hypotheses
+are generated from *failed view matches*: for each policy view, partial
+homomorphisms from the view body onto the query body are enumerated;
+the view atoms left unmapped, instantiated through the partial mapping,
+are exactly what is missing for that view to justify the query. Each
+hypothesis is validated by re-running the compliance check with the
+hypothesis atoms taken as certified facts.
+
+For Example 2.1 with ``Q2`` issued alone, the synthesized check is
+``SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2`` — the paper's
+"the Attendance table contains row (UId=1, EId=2)".
+"""
+
+from __future__ import annotations
+
+from repro.diagnose.patches import AccessCheckPatch
+from repro.relalg.constraints import ConstraintSet
+from repro.relalg.cq import CQ, Atom, Const, Param, Term, Var, fresh_var_factory
+from repro.relalg.rewrite import ViewDef, find_equivalent_rewriting
+from repro.relalg.render import cq_to_select
+from repro.relalg.translate import SchemaInfo
+from repro.sqlir.printer import to_sql
+from repro.util.errors import DbacError
+
+
+def access_check_patches(
+    query: CQ,
+    views: list[ViewDef],
+    schema: SchemaInfo,
+    existing_facts: list[Atom] | None = None,
+    max_patches: int = 3,
+) -> list[AccessCheckPatch]:
+    """Synthesize validated access-check patches for a blocked query."""
+    existing_facts = existing_facts or []
+    closure = ConstraintSet(query.comps)
+    if not closure.consistent():
+        return []
+    hypotheses = _candidate_hypotheses(query, views, closure)
+    patches: list[AccessCheckPatch] = []
+    seen_sql: set[str] = set()
+    for hypothesis in hypotheses:
+        patch = _validate(query, views, schema, existing_facts, hypothesis)
+        if patch is None or patch.check_sql in seen_sql:
+            continue
+        seen_sql.add(patch.check_sql)
+        patches.append(patch)
+        if len(patches) >= max_patches:
+            break
+    return patches
+
+
+def _candidate_hypotheses(
+    query: CQ, views: list[ViewDef], closure: ConstraintSet
+) -> list[tuple[Atom, ...]]:
+    """Unmapped view-body remainders under partial homomorphisms.
+
+    Smaller hypotheses first — the least the developer has to check.
+    """
+    fresh = fresh_var_factory("hx")
+    out: list[tuple[Atom, ...]] = []
+    seen: set[tuple[Atom, ...]] = set()
+    for view in views:
+        view_cq = view.cq.rename_apart({v.name for v in query.variables()})
+        body = view_cq.body
+
+        def emit(phi: dict[Var, Term], mapped: frozenset[int]) -> None:
+            unmapped = [a for i, a in enumerate(body) if i not in mapped]
+            if not unmapped or len(unmapped) == len(body):
+                return
+            # Resolve the remainder's variables through the *combined*
+            # constraints: the query's own comparisons plus the view's
+            # comparisons under the partial mapping. This is what pins
+            # V2's Attendance remainder to (UId = 1, EId = 2) in the
+            # paper's example rather than leaving fresh existentials.
+            combined = ConstraintSet(
+                list(query.comps) + [c.substitute(phi) for c in view_cq.comps]
+            )
+            if not combined.consistent():
+                return
+            extension = dict(phi)
+            for atom in unmapped:
+                for arg in atom.args:
+                    if isinstance(arg, Var) and arg not in extension:
+                        canon = combined.canon(arg)
+                        if isinstance(canon, Const):
+                            extension[arg] = canon
+                            continue
+                        anchor = next(
+                            (
+                                q_var
+                                for q_var in sorted(
+                                    query.body_variables(), key=lambda v: v.name
+                                )
+                                if combined.equal(arg, q_var)
+                            ),
+                            None,
+                        )
+                        extension[arg] = anchor if anchor is not None else fresh()
+            hypothesis = tuple(
+                _ground_atom(atom.substitute(extension), closure) for atom in unmapped
+            )
+            if hypothesis not in seen:
+                seen.add(hypothesis)
+                out.append(hypothesis)
+
+        def extend(index: int, phi: dict[Var, Term], mapped: frozenset[int]) -> None:
+            if index == len(body):
+                if mapped:
+                    emit(phi, mapped)
+                return
+            view_atom = body[index]
+            extend(index + 1, phi, mapped)
+            for subgoal in query.body:
+                extension = _match(view_atom, subgoal, phi, closure)
+                if extension is None:
+                    continue
+                phi.update(extension)
+                extend(index + 1, phi, mapped | {index})
+                for key in extension:
+                    del phi[key]
+
+        extend(0, {}, frozenset())
+    out.sort(key=len)
+    return out
+
+
+def _match(view_atom: Atom, subgoal: Atom, phi, closure) -> dict[Var, Term] | None:
+    if view_atom.rel != subgoal.rel or len(view_atom.args) != len(subgoal.args):
+        return None
+    extension: dict[Var, Term] = {}
+    for view_arg, q_arg in zip(view_atom.args, subgoal.args):
+        if isinstance(view_arg, Var):
+            bound = phi.get(view_arg, extension.get(view_arg))
+            if bound is None:
+                extension[view_arg] = q_arg
+            elif not closure.equal(bound, q_arg):
+                return None
+        elif not closure.equal(view_arg, q_arg):
+            return None
+    return extension
+
+
+def _ground_atom(atom: Atom, closure: ConstraintSet) -> Atom:
+    """Pin arguments to constants where the query's closure forces them."""
+    args = []
+    for arg in atom.args:
+        if isinstance(arg, Var):
+            canon = closure.canon(arg)
+            args.append(canon if isinstance(canon, Const) else arg)
+        else:
+            args.append(arg)
+    return Atom(atom.rel, tuple(args))
+
+
+def _validate(
+    query: CQ,
+    views: list[ViewDef],
+    schema: SchemaInfo,
+    existing_facts: list[Atom],
+    hypothesis: tuple[Atom, ...],
+) -> AccessCheckPatch | None:
+    """Does knowing the hypothesis make the query compliant?"""
+    facts = list(existing_facts) + list(hypothesis)
+    augmented = CQ(
+        head=query.head,
+        body=query.body + tuple(hypothesis),
+        comps=query.comps,
+        head_names=query.head_names,
+        name=(query.name or "Q") + "_hyp",
+    )
+    rewriting = find_equivalent_rewriting(augmented, views, facts=facts)
+    if rewriting is None:
+        return None
+    # Variables the hypothesis shares with the query body stand for "the
+    # same value the query uses"; in the rendered check they become named
+    # parameters the application binds alongside the original query.
+    query_vars = query.body_variables()
+    render_map = {
+        var: Param(f"Bind_{var.name.replace('.', '_').lstrip('$')}")
+        for atom in hypothesis
+        for var in atom.variables()
+        if var in query_vars
+    }
+    rendered_atoms = tuple(atom.substitute(render_map) for atom in hypothesis)
+    check_cq = CQ(
+        head=(Const(1),),
+        body=rendered_atoms,
+        comps=(),
+        head_names=("present",),
+        name="check",
+    )
+    try:
+        stmt = cq_to_select(check_cq, schema)
+    except DbacError:
+        return None
+    statement = " and ".join(f"a row {a!r} exists" for a in rendered_atoms)
+    return AccessCheckPatch(
+        check_sql=to_sql(stmt),
+        check_stmt=stmt,
+        statement=statement,
+        hypothesis_facts=list(hypothesis),
+    )

@@ -1,0 +1,177 @@
+"""Counterexample generation: the proof that a query is non-compliant.
+
+For a query to be allowed, its answer must be uniquely determined by the
+answers to the views (given the trace); a counterexample refutes this — a
+pair of databases on which every view (and every certified trace fact)
+agrees, but the blocked query's answer differs (§5.1, footnote 3).
+
+Construction: freeze the query (with trace facts) into a canonical
+instance ``D1`` where it returns its frozen head row, then perturb ``D1``
+into ``D2`` without disturbing the view images:
+
+* delete a tuple the query's match uses (works when the tuple is
+  invisible to every view — e.g. another user's attendance row);
+* mutate a single hidden cell (works when the views project the tuple
+  but not that column — e.g. a salary);
+* as a fallback, try pairs of deletions.
+
+The paper's §5.1 point — that a raw counterexample is hard for a human
+to act on — is what the patch generators address; the counterexample
+remains the machine-checkable core of the diagnosis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evaluate.answers import Instance, evaluate_cq
+from repro.relalg.cq import CQ, Atom, Const
+from repro.relalg.frozen import freeze
+from repro.relalg.rewrite import ViewDef
+from repro.util.errors import DbacError
+
+
+@dataclass
+class Counterexample:
+    """Two instances agreeing on views and trace, disagreeing on the query."""
+
+    d1: Instance
+    d2: Instance
+    query_answer_d1: set[tuple]
+    query_answer_d2: set[tuple]
+    perturbation: str
+
+    def describe(self) -> str:
+        lines = [
+            "counterexample (views agree, query answers differ):",
+            f"  perturbation: {self.perturbation}",
+            f"  query answer on D1: {sorted(self.query_answer_d1)!r}",
+            f"  query answer on D2: {sorted(self.query_answer_d2)!r}",
+        ]
+        for name, instance in (("D1", self.d1), ("D2", self.d2)):
+            lines.append(f"  {name}:")
+            for rel in sorted(instance):
+                for row in sorted(instance[rel], key=repr):
+                    lines.append(f"    {rel}{row!r}")
+        return "\n".join(lines)
+
+
+def find_counterexample(
+    query: CQ,
+    views: list[ViewDef],
+    facts: list[Atom] | None = None,
+    max_pairs: int = 200,
+) -> Counterexample | None:
+    """Search for a counterexample to the compliance of ``query``.
+
+    ``facts`` are certified trace atoms both instances must satisfy.
+    Returns None when no counterexample is found within the search
+    budget — which, given the checker's conservatism, can legitimately
+    happen for a blocked-but-actually-compliant query.
+    """
+    facts = facts or []
+    base = CQ(
+        head=query.head,
+        body=query.body + tuple(facts),
+        comps=query.comps,
+        head_names=query.head_names,
+        name=(query.name or "Q") + "_cx",
+    )
+    try:
+        frozen = freeze(base)
+    except DbacError:
+        return None
+    d1: Instance = {rel: set(rows) for rel, rows in frozen.facts.items()}
+    answer_d1 = evaluate_cq(query, d1)
+    if not answer_d1:
+        return None
+    reference_images = _images(views, d1)
+
+    def check(d2: Instance, label: str) -> Counterexample | None:
+        if _images(views, d2) != reference_images:
+            return None
+        if not _facts_hold(facts, d2):
+            return None
+        answer_d2 = evaluate_cq(query, d2)
+        if answer_d2 == answer_d1:
+            return None
+        return Counterexample(
+            d1=d1,
+            d2=d2,
+            query_answer_d1=answer_d1,
+            query_answer_d2=answer_d2,
+            perturbation=label,
+        )
+
+    tuples = [(rel, row) for rel in sorted(d1) for row in sorted(d1[rel], key=repr)]
+
+    # Single deletions.
+    attempts = 0
+    for rel, row in tuples:
+        if attempts >= max_pairs:
+            break
+        attempts += 1
+        d2 = _without(d1, [(rel, row)])
+        found = check(d2, f"deleted {rel}{row!r}")
+        if found:
+            return found
+
+    # Single hidden-cell mutations.
+    fresh = 990_001
+    for rel, row in tuples:
+        for position in range(len(row)):
+            if attempts >= max_pairs:
+                break
+            attempts += 1
+            mutated = list(row)
+            mutated[position] = (
+                fresh if isinstance(row[position], int | float) else f"mut_{fresh}"
+            )
+            fresh += 1
+            d2 = _without(d1, [(rel, row)])
+            d2.setdefault(rel, set()).add(tuple(mutated))
+            found = check(d2, f"mutated column {position} of {rel}{row!r}")
+            if found:
+                return found
+
+    # Pairs of deletions.
+    for i, (rel_a, row_a) in enumerate(tuples):
+        for rel_b, row_b in tuples[i + 1 :]:
+            if attempts >= max_pairs:
+                return None
+            attempts += 1
+            d2 = _without(d1, [(rel_a, row_a), (rel_b, row_b)])
+            found = check(d2, f"deleted {rel_a}{row_a!r} and {rel_b}{row_b!r}")
+            if found:
+                return found
+    return None
+
+
+def _images(views: list[ViewDef], instance: Instance) -> dict[str, frozenset]:
+    return {view.name: frozenset(evaluate_cq(view.cq, instance)) for view in views}
+
+
+def _facts_hold(facts: list[Atom], instance: Instance) -> bool:
+    """Every certified fact must have a match (labeled nulls are ∃)."""
+    for fact in facts:
+        rows = instance.get(fact.rel, set())
+        matched = False
+        for row in rows:
+            if len(row) != len(fact.args):
+                continue
+            if all(
+                (not isinstance(arg, Const)) or arg.value == value
+                for arg, value in zip(fact.args, row)
+            ):
+                matched = True
+                break
+        if not matched:
+            return False
+    return True
+
+
+def _without(instance: Instance, removals: list[tuple[str, tuple]]) -> Instance:
+    out = {rel: set(rows) for rel, rows in instance.items()}
+    for rel, row in removals:
+        out.get(rel, set()).discard(row)
+    return out

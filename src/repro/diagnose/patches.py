@@ -1,0 +1,137 @@
+"""Patch objects: the three remediation forms of §5.2.
+
+* :class:`PolicyPatch` — add/replace views so the blocked query becomes
+  compliant (§5.2.1).
+* :class:`QueryNarrowingPatch` — replace the query with a narrowed one
+  whose answer is covered by the policy (§5.2.2, form 1).
+* :class:`AccessCheckPatch` — wrap the query in an additional check on
+  database content; once the check passes, the original query is
+  compliant given the certified fact (§5.2.2, form 2).
+
+Every patch validates itself against a
+:class:`~repro.enforce.checker.ComplianceChecker`, so a diagnosis report
+only ever shows patches that provably resolve the violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.enforce.checker import ComplianceChecker
+from repro.enforce.trace import Trace
+from repro.policy.policy import Policy
+from repro.policy.view import View
+from repro.sqlir import ast
+
+
+@dataclass
+class PolicyPatch:
+    """Add views to the policy so the query becomes allowed."""
+
+    add_views: list[View]
+    rationale: str = ""
+    looks_broad: bool = False
+
+    def apply(self, policy: Policy) -> Policy:
+        patched = Policy(policy.views, name=policy.name + "+patch")
+        for view in self.add_views:
+            patched.add(view)
+        return patched
+
+    def validates(
+        self,
+        stmt: ast.Select,
+        bindings: dict[str, object],
+        policy: Policy,
+        schema,
+        trace: Trace | None = None,
+    ) -> bool:
+        checker = ComplianceChecker(schema, self.apply(policy))
+        return checker.check(stmt, bindings, trace).allowed
+
+    def describe(self) -> str:
+        lines = [f"policy patch ({self.rationale}):"]
+        for view in self.add_views:
+            lines.append(f"  + view {view.name}: {view.sql}")
+        if self.looks_broad:
+            lines.append(
+                "  ! this view is broad (unparameterized); if it looks"
+                " unreasonable, the application — not the policy — is the"
+                " likely culprit"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class QueryNarrowingPatch:
+    """Replace the blocked query with a policy-compliant narrowing."""
+
+    original_sql: str
+    narrowed_sql: str
+    narrowed_stmt: ast.Select
+    rationale: str = ""
+
+    def validates(
+        self,
+        bindings: dict[str, object],
+        policy: Policy,
+        schema,
+        trace: Trace | None = None,
+    ) -> bool:
+        checker = ComplianceChecker(schema, policy)
+        return checker.check(self.narrowed_stmt, bindings, trace).allowed
+
+    def describe(self) -> str:
+        return (
+            f"query-narrowing patch ({self.rationale}):\n"
+            f"  - {self.original_sql}\n"
+            f"  + {self.narrowed_sql}"
+        )
+
+
+@dataclass
+class AccessCheckPatch:
+    """Guard the blocked query with an application-side existence check.
+
+    ``check_sql`` is an ordinary SELECT the application runs first; a
+    non-empty result certifies the hypothesis ``statement`` about the
+    database, after which the original query is compliant. Per §5.2.2,
+    the check is a condition on database content, so it can be added in
+    any application language.
+    """
+
+    check_sql: str
+    check_stmt: ast.Select
+    statement: str
+    hypothesis_facts: list = field(default_factory=list)
+
+    def validates(
+        self,
+        stmt: ast.Select,
+        bindings: dict[str, object],
+        policy: Policy,
+        schema,
+    ) -> bool:
+        """Replay the patched flow: run the check, then re-vet the query."""
+        checker = ComplianceChecker(schema, policy)
+        trace = Trace()
+        # The check query itself must be compliant...
+        if not checker.check(self.check_stmt, bindings, trace).allowed:
+            return False
+        # ... and, assuming it returns a row (certifying the hypothesis
+        # facts), the original query must become compliant.
+        from repro.engine.executor import Result
+        from repro.relalg.translate import translate_select
+
+        check_cq = translate_select(self.check_stmt, schema).disjuncts[0]
+        synthetic = Result(columns=["c"], rows=[(1,)])
+        trace.record(self.check_sql, check_cq, synthetic)
+        return checker.check(stmt, bindings, trace).allowed
+
+    def describe(self) -> str:
+        return (
+            "access-check patch:\n"
+            f"  guard: {self.check_sql}\n"
+            f"  certifies: {self.statement}\n"
+            "  (issue the original query only when the guard returns a row)"
+        )

@@ -1,0 +1,206 @@
+"""The diagnosis entry point: from a blocked query to actionable output.
+
+``diagnose()`` assembles everything §5 proposes for one violation:
+
+1. a machine-checkable counterexample (proof of violation),
+2. policy patches (§5.2.1) — a generalized view that would allow the
+   query, generated extraction-style from the query itself, flagged when
+   it looks unreasonably broad,
+3. query-narrowing patches (§5.2.2 form 1),
+4. access-check patches (§5.2.2 form 2),
+
+plus the paper's triage heuristic: if every policy patch looks broad and
+application-side patches exist, the application is the likely culprit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.diagnose.abduce import access_check_patches
+from repro.diagnose.counterexample import Counterexample, find_counterexample
+from repro.diagnose.patches import AccessCheckPatch, PolicyPatch, QueryNarrowingPatch
+from repro.diagnose.rewrite import narrowing_patches
+from repro.enforce.trace import Trace
+from repro.policy.policy import Policy
+from repro.policy.view import View
+from repro.relalg.cq import CQ, Const, Param, Term, Var
+from repro.relalg.render import cq_to_select
+from repro.relalg.translate import SchemaInfo, translate_select
+from repro.sqlir import ast
+from repro.sqlir.printer import to_sql
+from repro.util.errors import DbacError, TranslationError
+
+
+@dataclass
+class DiagnosisReport:
+    """Everything the operator sees for one blocked query."""
+
+    sql: str
+    counterexample: Counterexample | None
+    policy_patches: list[PolicyPatch] = field(default_factory=list)
+    narrowing_patches: list[QueryNarrowingPatch] = field(default_factory=list)
+    access_check_patches: list[AccessCheckPatch] = field(default_factory=list)
+    verdict: str = ""
+
+    def describe(self) -> str:
+        lines = [f"diagnosis for blocked query: {self.sql}", f"verdict: {self.verdict}"]
+        if self.counterexample is not None:
+            lines.append(self.counterexample.describe())
+        else:
+            lines.append("no counterexample found (checker conservatism possible)")
+        for patch in self.policy_patches:
+            lines.append(patch.describe())
+        for patch in self.narrowing_patches:
+            lines.append(patch.describe())
+        for patch in self.access_check_patches:
+            lines.append(patch.describe())
+        return "\n".join(lines)
+
+
+def diagnose(
+    stmt: ast.Select,
+    bindings: dict[str, object],
+    policy: Policy,
+    schema: SchemaInfo,
+    trace: Trace | None = None,
+) -> DiagnosisReport:
+    """Produce a full diagnosis for a blocked (bound) SELECT."""
+    sql = to_sql(stmt)
+    try:
+        ucq = translate_select(stmt, schema)
+    except TranslationError as exc:
+        return DiagnosisReport(
+            sql=sql,
+            counterexample=None,
+            verdict=f"query is outside the analyzable fragment: {exc}",
+        )
+    query = ucq.disjuncts[0]
+    views = policy.view_defs(bindings)
+    facts = list(trace.facts) if trace is not None else []
+
+    counterexample = find_counterexample(query, views, facts)
+    policy_patch = _policy_patch(stmt, query, bindings, policy, schema, trace)
+    narrowings = narrowing_patches(query, sql, views, schema)
+    narrowings = [
+        patch
+        for patch in narrowings
+        if patch.validates(bindings, policy, schema, trace)
+    ]
+    checks = access_check_patches(query, views, schema, facts)
+    checks = [
+        patch for patch in checks if patch.validates(stmt, bindings, policy, schema)
+    ]
+
+    verdict = _verdict(policy_patch, narrowings, checks)
+    return DiagnosisReport(
+        sql=sql,
+        counterexample=counterexample,
+        policy_patches=[policy_patch] if policy_patch else [],
+        narrowing_patches=narrowings,
+        access_check_patches=checks,
+        verdict=verdict,
+    )
+
+
+def _policy_patch(
+    stmt: ast.Select,
+    query: CQ,
+    bindings: dict[str, object],
+    policy: Policy,
+    schema: SchemaInfo,
+    trace: Trace | None,
+) -> PolicyPatch | None:
+    """Generate a policy patch extraction-style from the query itself.
+
+    Constants equal to a session binding become the policy parameter;
+    other constants are generalized into exposed variables (the
+    application presumably ranges over them). The result is the most
+    specific single view that allows the query and its relatives.
+    """
+    reverse = {value: name for name, value in bindings.items()}
+    generalized_comps = []
+    head: list[Term] = [t for t in query.head if isinstance(t, Var)]
+    head_names = [
+        query.head_names[i] if i < len(query.head_names) else f"c{i}"
+        for i, t in enumerate(query.head)
+        if isinstance(t, Var)
+    ]
+    def promote(var: Var) -> None:
+        if var not in head:
+            head.append(var)
+            head_names.append(var.name.rsplit(".", 1)[-1])
+
+    for comp in query.comps:
+        left, right = comp.left, comp.right
+        # Session-bound constants become the policy parameter.
+        if isinstance(left, Const) and left.value in reverse:
+            left = Param(reverse[left.value])
+        if isinstance(right, Const) and right.value in reverse:
+            right = Param(reverse[right.value])
+        # An equality pinning a variable to some other constant is
+        # generalized away: the application presumably ranges over that
+        # value, so the view exposes the column instead.
+        if comp.op == "=":
+            if isinstance(left, Const) and isinstance(right, Var):
+                promote(right)
+                continue
+            if isinstance(right, Const) and isinstance(left, Var):
+                promote(left)
+                continue
+        if left == right and comp.op in ("=", "<="):
+            continue
+        generalized_comps.append(type(comp)(comp.op, left, right))
+    if not head:
+        head = [Const(1)]
+        head_names = ["present"]
+    unique_head = list(dict.fromkeys(head))
+    candidate = CQ(
+        head=tuple(unique_head),
+        body=query.body,
+        comps=tuple(generalized_comps),
+        head_names=tuple(head_names[: len(unique_head)]),
+        name="patch",
+    )
+    try:
+        select = cq_to_select(candidate, schema)
+    except DbacError:
+        return None
+    try:
+        view = View(f"Vpatch_{len(policy) + 1}", select, schema, "generated policy patch")
+    except Exception:
+        return None
+    looks_broad = not view.param_names
+    patch = PolicyPatch(
+        add_views=[view],
+        rationale="generalized from the blocked query",
+        looks_broad=looks_broad,
+    )
+    if not patch.validates(stmt, bindings, policy, schema, trace):
+        return None
+    return patch
+
+
+def _verdict(
+    policy_patch: PolicyPatch | None,
+    narrowings: list[QueryNarrowingPatch],
+    checks: list[AccessCheckPatch],
+) -> str:
+    app_side = bool(narrowings or checks)
+    if policy_patch is not None and not policy_patch.looks_broad:
+        if app_side:
+            return (
+                "either side can fix this: a narrow policy patch exists, and"
+                " so do application-side patches"
+            )
+        return "likely a policy gap: a narrow policy patch exists"
+    if policy_patch is not None and policy_patch.looks_broad and app_side:
+        return (
+            "likely an application bug: every policy patch is broad, while"
+            " application-side patches exist (§5.2 heuristic)"
+        )
+    if app_side:
+        return "application-side patches available"
+    if policy_patch is not None:
+        return "only a broad policy patch found — review the application"
+    return "no automatic patch found; see the counterexample"

@@ -1,0 +1,57 @@
+"""Query-narrowing patches via maximally contained rewritings (§5.2.2).
+
+Narrowing a blocked query ``Q`` reduces to finding a contained rewriting
+of ``Q`` using the policy views (Levy et al. '95); a *maximally*
+contained rewriting returns as much data as possible without violating
+the policy. Each maximal rewriting's expansion is minimized, rendered
+back to SQL over base tables, and wrapped in a validated
+:class:`~repro.diagnose.patches.QueryNarrowingPatch` — the form a
+developer can paste into the offending handler.
+"""
+
+from __future__ import annotations
+
+from repro.diagnose.patches import QueryNarrowingPatch
+from repro.relalg.cq import CQ
+from repro.relalg.minimize import minimize_cq
+from repro.relalg.render import cq_to_select
+from repro.relalg.rewrite import ViewDef, maximally_contained_rewritings
+from repro.relalg.translate import SchemaInfo
+from repro.sqlir.printer import to_sql
+from repro.util.errors import DbacError
+
+
+def narrowing_patches(
+    query: CQ,
+    original_sql: str,
+    views: list[ViewDef],
+    schema: SchemaInfo,
+    max_candidates: int = 2000,
+    max_patches: int = 3,
+) -> list[QueryNarrowingPatch]:
+    """Generate narrowing patches for a blocked query.
+
+    Trivial narrowings (an unsatisfiable or empty rewriting) never reach
+    the caller: the rewriting engine requires a satisfiable expansion,
+    and rendering drops candidates with no SQL form.
+    """
+    patches: list[QueryNarrowingPatch] = []
+    for rewriting in maximally_contained_rewritings(
+        query, views, max_candidates=max_candidates
+    ):
+        narrowed = minimize_cq(rewriting.expansion)
+        try:
+            stmt = cq_to_select(narrowed, schema)
+        except DbacError:
+            continue
+        patches.append(
+            QueryNarrowingPatch(
+                original_sql=original_sql,
+                narrowed_sql=to_sql(stmt),
+                narrowed_stmt=stmt,
+                rationale=f"maximally contained in views via {rewriting.describe()}",
+            )
+        )
+        if len(patches) >= max_patches:
+            break
+    return patches

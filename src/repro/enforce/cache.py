@@ -1,0 +1,257 @@
+"""Decision-template cache (the Blockaid-style fast path).
+
+A fresh Allow decision is generalized into a *template*: the query's
+skeleton (constants hollowed out), the equality pattern among the slot
+values and the session parameters, and the trace facts the decision's
+justification relied on — with their constants rewritten to slot/param
+references. A later query with the same skeleton, the same equality
+pattern, and matching facts in its trace is allowed without re-running
+the checker.
+
+Soundness. The checker's reasoning (constraint closure + homomorphism
+search) over equality-compared constants is invariant under injective
+renaming of those constants, so a decision replayed with renamed
+constants — same equalities, same distinctness — remains valid, provided:
+
+* slots whose literal occurs under an order comparison are *pinned*
+  (must match exactly; renaming invariance does not cover ``<``), and
+* slots whose value collides with a constant appearing in the policy's
+  view definitions are pinned (the proof may have used that equality).
+
+Block decisions are not cached: blocking depends on the *absence* of
+helpful trace facts, which a growing trace can invalidate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.enforce.decision import Decision
+from repro.enforce.trace import Trace, is_labeled_null
+from repro.policy.policy import Policy
+from repro.relalg.cq import Atom, Const
+from repro.sqlir import ast
+from repro.sqlir.skeleton import Skeleton, skeletonize
+
+# A fact-pattern argument: ("const", value) | ("slot", i) | ("param", name)
+# | ("any", None) for labeled nulls.
+_PatternArg = tuple[str, object]
+
+
+@dataclass(frozen=True)
+class _Template:
+    """A cached, generalized Allow decision."""
+
+    skeleton_key: object
+    pinned: tuple[tuple[int, object], ...]  # (slot index, exact value)
+    equality_pattern: tuple[tuple[int, ...], ...]  # partition of slots+params
+    fact_patterns: tuple[tuple[str, tuple[_PatternArg, ...]], ...]
+    reason: str
+
+
+class DecisionCache:
+    """Maps query skeletons to decision templates."""
+
+    def __init__(self, policy: Policy):
+        self._templates: dict[object, list[_Template]] = {}
+        self._view_constants = _constants_in_policy(policy)
+        self.hits = 0
+        self.misses = 0
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(
+        self,
+        stmt: ast.Select,
+        bindings: Mapping[str, object],
+        trace: Trace | None,
+    ) -> Decision | None:
+        skeleton = skeletonize(stmt)
+        key = skeleton.statement
+        candidates = self._templates.get(key, ())
+        param_items = sorted(bindings.items())
+        for template in candidates:
+            if self._matches(template, skeleton, param_items, trace):
+                self.hits += 1
+                from repro.sqlir.printer import to_sql
+
+                return Decision(
+                    allowed=True,
+                    sql=to_sql(stmt),
+                    reason=template.reason,
+                    from_cache=True,
+                )
+        self.misses += 1
+        return None
+
+    def _matches(
+        self,
+        template: _Template,
+        skeleton: Skeleton,
+        param_items: list[tuple[str, object]],
+        trace: Trace | None,
+    ) -> bool:
+        for index, value in template.pinned:
+            if skeleton.values[index] != value:
+                return False
+        if _equality_partition(skeleton.values, param_items) != template.equality_pattern:
+            return False
+        if template.fact_patterns:
+            if trace is None:
+                return False
+            facts = trace.facts
+            params = dict(param_items)
+            for rel, pattern_args in template.fact_patterns:
+                if not any(
+                    _fact_matches(fact, rel, pattern_args, skeleton.values, params)
+                    for fact in facts
+                ):
+                    return False
+        return True
+
+    # -- insertion -------------------------------------------------------------
+
+    def store(
+        self,
+        stmt: ast.Select,
+        bindings: Mapping[str, object],
+        decision: Decision,
+    ) -> None:
+        """Generalize and store a fresh Allow decision."""
+        if not decision.allowed or decision.from_cache:
+            return
+        skeleton = skeletonize(stmt)
+        param_items = sorted(bindings.items())
+        pinned = []
+        for index, value in enumerate(skeleton.values):
+            if not skeleton.generalizable[index] or value in self._view_constants:
+                pinned.append((index, value))
+        fact_patterns = []
+        for fact in decision.facts_used:
+            fact_patterns.append(
+                (fact.rel, _pattern_of(fact, skeleton.values, param_items))
+            )
+        template = _Template(
+            skeleton_key=skeleton.statement,
+            pinned=tuple(pinned),
+            equality_pattern=_equality_partition(skeleton.values, param_items),
+            fact_patterns=tuple(fact_patterns),
+            reason=decision.reason + " [template]",
+        )
+        self._templates.setdefault(skeleton.statement, []).append(template)
+
+    @property
+    def size(self) -> int:
+        return sum(len(templates) for templates in self._templates.values())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+# --------------------------------------------------------------------------
+# Helpers
+# --------------------------------------------------------------------------
+
+
+def _constants_in_policy(policy: Policy) -> set[object]:
+    constants: set[object] = set()
+    for view in policy:
+        for disjunct in view.ucq.disjuncts:
+            for comp in disjunct.comps:
+                for term in (comp.left, comp.right):
+                    if isinstance(term, Const):
+                        constants.add(term.value)
+            for atom in disjunct.body:
+                for arg in atom.args:
+                    if isinstance(arg, Const):
+                        constants.add(arg.value)
+    return constants
+
+
+def _equality_partition(
+    values: tuple[object, ...], param_items: list[tuple[str, object]]
+) -> tuple[tuple[int, ...], ...]:
+    """Partition of slot indexes (params get negative pseudo-indexes) by value.
+
+    Captures both the required equalities and the required distinctness:
+    two instantiations match iff they induce the same partition.
+    """
+    keyed: dict[object, list[int]] = {}
+    for index, value in enumerate(values):
+        keyed.setdefault(_value_key(value), []).append(index)
+    for offset, (_, value) in enumerate(param_items):
+        keyed.setdefault(_value_key(value), []).append(-(offset + 1))
+    groups = [tuple(sorted(group)) for group in keyed.values() if len(group) > 1]
+    groups.sort()
+    return tuple(groups)
+
+
+def _value_key(value: object) -> object:
+    # bool is an int subclass; keep them distinct from 0/1.
+    return (type(value).__name__, value)
+
+
+def _pattern_of(
+    fact: Atom,
+    values: tuple[object, ...],
+    param_items: list[tuple[str, object]],
+) -> tuple[_PatternArg, ...]:
+    params = {name: value for name, value in param_items}
+    pattern: list[_PatternArg] = []
+    for arg in fact.args:
+        if is_labeled_null(arg):
+            pattern.append(("any", None))
+            continue
+        if isinstance(arg, Const):
+            slot = next(
+                (i for i, v in enumerate(values) if _value_key(v) == _value_key(arg.value)),
+                None,
+            )
+            if slot is not None:
+                pattern.append(("slot", slot))
+                continue
+            param_name = next(
+                (
+                    name
+                    for name, value in params.items()
+                    if _value_key(value) == _value_key(arg.value)
+                ),
+                None,
+            )
+            if param_name is not None:
+                pattern.append(("param", param_name))
+                continue
+            pattern.append(("const", arg.value))
+            continue
+        pattern.append(("any", None))
+    return tuple(pattern)
+
+
+def _fact_matches(
+    fact: Atom,
+    rel: str,
+    pattern_args: tuple[_PatternArg, ...],
+    values: tuple[object, ...],
+    params: dict[str, object],
+) -> bool:
+    if fact.rel != rel or len(fact.args) != len(pattern_args):
+        return False
+    for arg, (kind, ref) in zip(fact.args, pattern_args):
+        if kind == "any":
+            continue
+        if is_labeled_null(arg) or not isinstance(arg, Const):
+            return False
+        if kind == "slot":
+            expected = values[ref]  # type: ignore[index]
+        elif kind == "param":
+            if ref not in params:
+                return False
+            expected = params[ref]
+        else:
+            expected = ref
+        if _value_key(arg.value) != _value_key(expected):
+            return False
+    return True

@@ -1,0 +1,69 @@
+"""Decision objects and the violation exception."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relalg.rewrite import Rewriting
+from repro.util.errors import DbacError
+
+
+@dataclass
+class Decision:
+    """The outcome of vetting one query.
+
+    ``rewritings`` holds, for an allowed query, one witnessing equivalent
+    rewriting per disjunct — the machine-checkable justification that the
+    query's answer is computable from the policy views and trace facts.
+    """
+
+    allowed: bool
+    sql: str
+    reason: str
+    rewritings: tuple[Rewriting, ...] = ()
+    #: Every trace fact the justification conjoined into the query — the
+    #: decision is only valid while these facts are certified, so the
+    #: cache template requires them all.
+    facts_used: tuple = ()
+    from_cache: bool = False
+    duration_s: float = 0.0
+    facts_considered: int = 0
+
+    def describe(self) -> str:
+        verdict = "ALLOW" if self.allowed else "BLOCK"
+        origin = " (cached)" if self.from_cache else ""
+        return f"{verdict}{origin}: {self.sql} — {self.reason}"
+
+    def explain(self) -> str:
+        """A multi-line justification an operator can audit.
+
+        For an allowed query, shows the witnessing rewriting per disjunct
+        (which views compute the answer) and the certified trace facts it
+        leaned on; for a blocked one, restates what was missing.
+        """
+        lines = [self.describe()]
+        for position, rewriting in enumerate(self.rewritings):
+            prefix = f"  disjunct {position}: " if len(self.rewritings) > 1 else "  "
+            lines.append(f"{prefix}answer = {rewriting.describe()}")
+        if self.facts_used:
+            lines.append("  certified trace facts relied upon:")
+            for fact in self.facts_used:
+                lines.append(f"    {fact!r}")
+        if not self.allowed and not self.from_cache and "fragment" not in self.reason:
+            lines.append(
+                "  (no combination of policy views — together with certified"
+                " trace facts, if any — computes this query's answer)"
+            )
+        return "\n".join(lines)
+
+
+class PolicyViolation(DbacError):
+    """Raised by the proxy when a query is blocked.
+
+    Carries the :class:`Decision` so diagnosis tooling (§5) can pick up
+    exactly where enforcement left off.
+    """
+
+    def __init__(self, decision: Decision):
+        super().__init__(decision.describe())
+        self.decision = decision

@@ -1,0 +1,142 @@
+"""The enforcement proxy: the SQL front door with access control.
+
+Mirrors the Blockaid deployment model (§2.2): the application keeps its
+own access checks and issues ordinary SQL; the proxy intercepts each
+query and either executes it as-is or blocks it outright. It never
+modifies a query — the paper's first highlighted trait.
+
+Writes (INSERT/UPDATE/DELETE) pass through unchecked: the paper's setting
+controls *data revelation*; write control is an orthogonal concern.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.enforce.cache import DecisionCache
+from repro.enforce.checker import ComplianceChecker
+from repro.enforce.decision import Decision, PolicyViolation
+from repro.enforce.trace import Trace
+from repro.engine.database import Database
+from repro.engine.executor import Result
+from repro.policy.policy import Policy
+from repro.sqlir import ast
+from repro.sqlir.params import bind_parameters
+from repro.util.errors import EngineError
+
+
+@dataclass(frozen=True)
+class Session:
+    """Who is asking: the bindings for the policy's parameters."""
+
+    bindings: Mapping[str, object]
+
+    @staticmethod
+    def for_user(user_id: object, param: str = "MyUId") -> "Session":
+        return Session(bindings={param: user_id})
+
+
+@dataclass
+class ProxyStats:
+    """Counters a proxy accumulates over its lifetime."""
+
+    allowed: int = 0
+    blocked: int = 0
+    cache_hits: int = 0
+    check_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    decisions: list[Decision] = field(default_factory=list)
+
+
+class EnforcementProxy:
+    """A per-session database connection with policy enforcement.
+
+    Exposes the same ``sql()`` / ``query()`` interface as
+    :class:`~repro.engine.database.Database`, so application handlers run
+    unmodified against either.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        policy: Policy,
+        session: Session,
+        history_enabled: bool = True,
+        cache: DecisionCache | None = None,
+        record_decisions: bool = False,
+    ):
+        self.db = db
+        self.policy = policy
+        self.session = session
+        self.checker = ComplianceChecker(
+            db.schema, policy, history_enabled=history_enabled
+        )
+        self.cache = cache
+        self.trace = Trace()
+        self.stats = ProxyStats()
+        self.record_decisions = record_decisions
+
+    # -- the application-facing API ----------------------------------------------
+
+    def sql(
+        self,
+        sql: str | ast.Statement,
+        args: Sequence[object] = (),
+        named: Mapping[str, object] | None = None,
+    ) -> Result | int:
+        stmt = self.db._parse(sql)
+        if not isinstance(stmt, ast.Select):
+            return self.db.sql(stmt, args, named)
+        bound = bind_parameters(stmt, args, named)
+        assert isinstance(bound, ast.Select)
+        decision = self.decide(bound)
+        if not decision.allowed:
+            self.stats.blocked += 1
+            if self.record_decisions:
+                self.stats.decisions.append(decision)
+            raise PolicyViolation(decision)
+        self.stats.allowed += 1
+        if self.record_decisions:
+            self.stats.decisions.append(decision)
+        started = time.perf_counter()
+        result = self.db.sql(bound)
+        self.stats.execute_seconds += time.perf_counter() - started
+        assert isinstance(result, Result)
+        query = self.checker.translate(bound)
+        single = (
+            query.disjuncts[0]
+            if query is not None and len(query.disjuncts) == 1
+            else None
+        )
+        self.trace.record(decision.sql, single, result)
+        return result
+
+    def query(
+        self,
+        sql: str | ast.Statement,
+        args: Sequence[object] = (),
+        named: Mapping[str, object] | None = None,
+    ) -> Result:
+        result = self.sql(sql, args, named)
+        if not isinstance(result, Result):
+            raise EngineError("query() requires a SELECT statement")
+        return result
+
+    # -- decisions ---------------------------------------------------------------
+
+    def decide(self, bound: ast.Select) -> Decision:
+        """Vet a bound SELECT (without executing it)."""
+        started = time.perf_counter()
+        if self.cache is not None:
+            cached = self.cache.lookup(bound, self.session.bindings, self.trace)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                self.stats.check_seconds += time.perf_counter() - started
+                return cached
+        decision = self.checker.check(bound, self.session.bindings, self.trace)
+        if self.cache is not None:
+            self.cache.store(bound, self.session.bindings, decision)
+        self.stats.check_seconds += time.perf_counter() - started
+        return decision

@@ -1,0 +1,134 @@
+"""Query traces and the ground facts they certify.
+
+When the proxy allows a query and the database returns rows, every
+returned row certifies the existence of matching rows in the base tables.
+Example 2.1 hinges on this: ``Q1`` returning a row certifies the fact
+``Attendance(1, 2)``, which later makes ``Q2`` compliant.
+
+Fact extraction walks the query's CQ body: for each returned row, an atom
+argument whose value is determined (a constant, a head variable bound by
+the row, or a variable the comparisons pin to a constant) becomes that
+constant; undetermined arguments become *labeled nulls* — fresh variables
+meaning "some value exists here". Labeled nulls are shared within a row,
+so joins are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.executor import Result
+from repro.relalg.constraints import ConstraintSet
+from repro.relalg.cq import CQ, Atom, Comp, Const, Term, Var
+
+_NULL_PREFIX = "\x00ln"
+
+
+def is_labeled_null(term: Term) -> bool:
+    return isinstance(term, Var) and term.name.startswith(_NULL_PREFIX)
+
+
+@dataclass
+class TraceEntry:
+    """One allowed-and-executed query with its result."""
+
+    sql: str
+    query: CQ | None  # None when the query had no CQ translation
+    result_columns: tuple[str, ...]
+    result_rows: tuple[tuple, ...]
+    facts: tuple[Atom, ...] = ()
+
+    @property
+    def returned_rows(self) -> int:
+        return len(self.result_rows)
+
+
+class Trace:
+    """The per-session history of queries and the facts they certify."""
+
+    def __init__(self, max_facts: int = 256):
+        self.entries: list[TraceEntry] = []
+        self._facts: list[Atom] = []
+        self._fact_set: set[Atom] = set()
+        self._null_counter = 0
+        self.max_facts = max_facts
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def facts(self) -> tuple[Atom, ...]:
+        return tuple(self._facts)
+
+    def record(self, sql: str, query: CQ | None, result: Result) -> TraceEntry:
+        """Record an executed query; extract and accumulate its facts."""
+        facts: tuple[Atom, ...] = ()
+        if query is not None and result.rows:
+            facts = tuple(self._extract_facts(query, result))
+        entry = TraceEntry(
+            sql=sql,
+            query=query,
+            result_columns=tuple(result.columns),
+            result_rows=tuple(result.rows),
+            facts=facts,
+        )
+        self.entries.append(entry)
+        for fact in facts:
+            if fact in self._fact_set:
+                # Re-certified: refresh recency so the checker's
+                # most-recent-facts selection sees it again.
+                self._facts.remove(fact)
+                self._facts.append(fact)
+            elif len(self._facts) < self.max_facts:
+                self._fact_set.add(fact)
+                self._facts.append(fact)
+        return entry
+
+    def relevant_facts(self, relations: set[str]) -> list[Atom]:
+        """Facts over the given relations (what a compliance check conjoins)."""
+        return [fact for fact in self._facts if fact.rel in relations]
+
+    def _fresh_null(self) -> Var:
+        self._null_counter += 1
+        return Var(f"{_NULL_PREFIX}{self._null_counter}")
+
+    def _extract_facts(self, query: CQ, result: Result) -> list[Atom]:
+        facts: list[Atom] = []
+        head_vars = [
+            (index, term)
+            for index, term in enumerate(query.head)
+            if isinstance(term, Var)
+        ]
+        for row in result.rows:
+            row_comps = list(query.comps)
+            for index, var in head_vars:
+                row_comps.append(Comp("=", var, Const(row[index])))
+            closure = ConstraintSet(row_comps)
+            if not closure.consistent():
+                continue  # result row contradicts the query; defensive skip
+            nulls: dict[Var, Var] = {}
+            for atom in query.body:
+                resolved: list[Term] = []
+                for arg in atom.args:
+                    if isinstance(arg, Const):
+                        resolved.append(arg)
+                        continue
+                    if isinstance(arg, Var):
+                        canon = closure.canon(arg)
+                        if isinstance(canon, Const):
+                            resolved.append(canon)
+                        else:
+                            # Key nulls by equivalence class so joined
+                            # variables share one labeled null.
+                            key = canon if isinstance(canon, Var) else arg
+                            null = nulls.get(key)
+                            if null is None:
+                                null = self._fresh_null()
+                                nulls[key] = null
+                            resolved.append(null)
+                        continue
+                    # A residual param in a bound query should not happen;
+                    # treat it as undetermined.
+                    resolved.append(self._fresh_null())
+                facts.append(Atom(atom.rel, tuple(resolved)))
+        return facts

@@ -1,0 +1,26 @@
+"""In-memory relational engine.
+
+A small but real database: typed schemas with primary/foreign keys,
+secondary hash indexes, a SQL executor for the full dialect (including
+features outside the reasoning fragment, like COUNT and LEFT JOIN), and
+snapshot/restore support used by the active-learning extraction loop.
+
+The engine plays the role of the production DBMS in the Blockaid setting:
+the enforcement proxy (``repro.enforce``) wraps a :class:`Database` and
+intercepts queries before execution.
+"""
+
+from repro.engine.types import ColumnType
+from repro.engine.schema import Column, ForeignKey, Schema, TableSchema
+from repro.engine.database import Database
+from repro.engine.executor import Result
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Database",
+    "ForeignKey",
+    "Result",
+    "Schema",
+    "TableSchema",
+]

@@ -1,0 +1,111 @@
+"""The Database object: schema + tables + the user-facing ``sql()`` API."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.engine.executor import Result, execute
+from repro.engine.schema import Schema, TableSchema
+from repro.engine.table import Table
+from repro.sqlir import ast
+from repro.sqlir.params import bind_parameters
+from repro.sqlir.parser import parse_sql
+from repro.util.errors import EngineError
+
+
+class Database:
+    """An in-memory database instance.
+
+    ``sql()`` is the application-facing entry point: it parses (with a
+    small statement cache), binds parameters, and executes. The
+    enforcement proxy exposes the same signature, so application code is
+    written once and runs with or without access control.
+    """
+
+    def __init__(self, schema: Schema | None = None):
+        self.schema = schema or Schema()
+        self._tables: dict[str, Table] = {
+            name: Table(table_schema)
+            for name, table_schema in self.schema.tables.items()
+        }
+        self._statement_cache: dict[str, ast.Statement] = {}
+
+    # -- schema management -----------------------------------------------------
+
+    def create_table(self, table_schema: TableSchema) -> None:
+        self.schema.add(table_schema)
+        self._tables[table_schema.name] = Table(table_schema)
+
+    def table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise EngineError(f"unknown table {name!r}")
+        return self._tables[name]
+
+    # -- data access -------------------------------------------------------------
+
+    def sql(
+        self,
+        sql: str | ast.Statement,
+        args: Sequence[object] = (),
+        named: Mapping[str, object] | None = None,
+    ) -> Result | int:
+        """Parse, bind, and execute one statement."""
+        stmt = self._parse(sql)
+        if isinstance(stmt, ast.CreateTable):
+            self.create_table(Schema.from_create_statements([stmt]).table(stmt.name))
+            return 0
+        bound = bind_parameters(stmt, args, named)
+        return execute(self, bound)
+
+    def query(
+        self,
+        sql: str | ast.Statement,
+        args: Sequence[object] = (),
+        named: Mapping[str, object] | None = None,
+    ) -> Result:
+        """Like :meth:`sql` but asserts a SELECT and returns its Result."""
+        result = self.sql(sql, args, named)
+        if not isinstance(result, Result):
+            raise EngineError("query() requires a SELECT statement")
+        return result
+
+    def _parse(self, sql: str | ast.Statement) -> ast.Statement:
+        if isinstance(sql, ast.Statement):
+            return sql
+        cached = self._statement_cache.get(sql)
+        if cached is None:
+            cached = parse_sql(sql)
+            self._statement_cache[sql] = cached
+        return cached
+
+    def insert_rows(self, table: str, rows: Sequence[Sequence[object]]) -> int:
+        """Bulk insert rows (schema column order) bypassing SQL parsing."""
+        target = self.table(table)
+        from repro.engine.executor import _check_foreign_keys
+
+        for row in rows:
+            _check_foreign_keys(self, target.schema, list(row))
+            target.insert(list(row))
+        return len(rows)
+
+    # -- snapshots (used by active-learning extraction) ---------------------------
+
+    def snapshot(self) -> dict[str, dict]:
+        """Capture all table contents; restore with :meth:`restore`."""
+        return {name: table.snapshot() for name, table in self._tables.items()}
+
+    def restore(self, snapshot: dict[str, dict]) -> None:
+        for name, table_snapshot in snapshot.items():
+            self._tables[name].restore(table_snapshot)
+
+    # -- introspection --------------------------------------------------------------
+
+    def row_count(self, table: str) -> int:
+        return len(self.table(table))
+
+    def total_rows(self) -> int:
+        return sum(len(t) for t in self._tables.values())
+
+    def relation_contents(self) -> dict[str, set[tuple]]:
+        """All rows per relation, as sets — the shape the evaluators use."""
+        return {name: set(table.rows()) for name, table in self._tables.items()}

@@ -1,0 +1,219 @@
+"""Expression evaluation over row environments.
+
+SQL's three-valued logic is implemented with ``None`` standing for
+UNKNOWN: comparisons against NULL yield UNKNOWN, AND/OR/NOT follow the
+Kleene tables, and a WHERE clause keeps a row only when the predicate is
+definitely TRUE.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.sqlir import ast
+from repro.util.errors import EngineError
+
+# An environment maps (alias, column) -> value; aliases come from the FROM
+# clause. Unqualified columns are resolved by the executor before
+# evaluation, so the evaluator only ever sees qualified references.
+Env = Mapping[tuple[str, str], object]
+
+#: Environment key under which the executor stashes the database, so
+#: correlated EXISTS subqueries can be executed from within expression
+#: evaluation. The key shape cannot collide with (alias, column) pairs.
+DB_CONTEXT = ("\x00db", "\x00db")
+
+
+def evaluate(expr: ast.Expr, env: Env) -> object:
+    """Evaluate ``expr`` to a value, or None for NULL/UNKNOWN."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Column):
+        if expr.table is None:
+            raise EngineError(f"unresolved column {expr.name!r} reached evaluator")
+        key = (expr.table, expr.name)
+        if key not in env:
+            raise EngineError(f"unknown column {expr.table}.{expr.name}")
+        return env[key]
+    if isinstance(expr, ast.Param):
+        raise EngineError(f"unbound parameter {expr.label()!r} reached evaluator")
+    if isinstance(expr, ast.Comparison):
+        return _compare(expr.op, evaluate(expr.left, env), evaluate(expr.right, env))
+    if isinstance(expr, ast.BoolOp):
+        return _bool_op(expr, env)
+    if isinstance(expr, ast.Not):
+        value = evaluate(expr.operand, env)
+        if value is None:
+            return None
+        return not _truthy(value)
+    if isinstance(expr, ast.InList):
+        return _in_list(expr, env)
+    if isinstance(expr, ast.IsNull):
+        value = evaluate(expr.expr, env)
+        result = value is None
+        return (not result) if expr.negated else result
+    if isinstance(expr, ast.Arith):
+        return _arith(expr.op, evaluate(expr.left, env), evaluate(expr.right, env))
+    if isinstance(expr, ast.Exists):
+        return _exists(expr, env)
+    raise EngineError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _exists(expr: ast.Exists, env: Env) -> bool:
+    """Evaluate a correlated EXISTS subquery.
+
+    Outer references — columns whose alias is not declared by the
+    subquery itself — are substituted with the current row's values, then
+    the decorrelated subquery executes through the normal path.
+    """
+    db = env.get(DB_CONTEXT)
+    if db is None:
+        raise EngineError("EXISTS requires executor context")
+    inner_aliases = {ref.alias for ref in expr.query.tables()}
+
+    def substitute(node: ast.Expr) -> ast.Expr:
+        if not isinstance(node, ast.Column):
+            return node
+        if node.table is not None:
+            if node.table in inner_aliases:
+                return node
+            key = (node.table, node.name)
+            if key in env:
+                return ast.Literal(env[key])  # type: ignore[arg-type]
+            raise EngineError(
+                f"EXISTS references unknown alias {node.table!r}"
+            )
+        # Unqualified: prefer the subquery's own tables; fall back to a
+        # unique outer binding.
+        for alias in inner_aliases:
+            try:
+                table = db.schema.table(
+                    next(
+                        ref.name
+                        for ref in expr.query.tables()
+                        if ref.alias == alias
+                    )
+                )
+            except StopIteration:  # pragma: no cover - aliases built above
+                continue
+            if node.name in table.column_names:
+                return node
+        outer = [key for key in env if key != DB_CONTEXT and key[1] == node.name]
+        if len(outer) == 1:
+            return ast.Literal(env[outer[0]])  # type: ignore[arg-type]
+        raise EngineError(f"cannot resolve column {node.name!r} in EXISTS")
+
+    decorrelated = ast.map_statement(expr.query, substitute)
+    assert isinstance(decorrelated, ast.Select)
+    from repro.engine.executor import execute_select
+
+    return not execute_select(db, decorrelated).is_empty()
+
+
+def predicate_holds(expr: ast.Expr | None, env: Env) -> bool:
+    """WHERE semantics: keep the row only if the predicate is TRUE."""
+    if expr is None:
+        return True
+    value = evaluate(expr, env)
+    return value is True or (value is not None and _truthy(value))
+
+
+def _truthy(value: object) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int | float):
+        return value != 0
+    if isinstance(value, str):
+        return bool(value)
+    return value is not None
+
+
+def _compare(op: str, left: object, right: object) -> bool | None:
+    if left is None or right is None:
+        return None  # UNKNOWN
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if not _comparable(left, right):
+        raise EngineError(
+            f"cannot compare {type(left).__name__} with {type(right).__name__}"
+        )
+    if op == "<":
+        return left < right  # type: ignore[operator]
+    if op == "<=":
+        return left <= right  # type: ignore[operator]
+    if op == ">":
+        return left > right  # type: ignore[operator]
+    if op == ">=":
+        return left >= right  # type: ignore[operator]
+    raise EngineError(f"unknown comparison operator {op!r}")
+
+
+def _comparable(left: object, right: object) -> bool:
+    numeric = (int, float)
+    if isinstance(left, numeric) and isinstance(right, numeric):
+        return True
+    return type(left) is type(right)
+
+
+def _bool_op(expr: ast.BoolOp, env: Env) -> bool | None:
+    values = [evaluate(op, env) for op in expr.operands]
+    bools = [
+        v if isinstance(v, bool) or v is None else _truthy(v) for v in values
+    ]
+    if expr.op == "AND":
+        if any(v is False for v in bools):
+            return False
+        if any(v is None for v in bools):
+            return None
+        return True
+    if expr.op == "OR":
+        if any(v is True for v in bools):
+            return True
+        if any(v is None for v in bools):
+            return None
+        return False
+    raise EngineError(f"unknown boolean operator {expr.op!r}")
+
+
+def _in_list(expr: ast.InList, env: Env) -> bool | None:
+    value = evaluate(expr.expr, env)
+    if value is None:
+        return None
+    saw_null = False
+    hit = False
+    for item in expr.items:
+        item_value = evaluate(item, env)
+        if item_value is None:
+            saw_null = True
+        elif item_value == value:
+            hit = True
+            break
+    if hit:
+        result: bool | None = True
+    elif saw_null:
+        result = None
+    else:
+        result = False
+    if expr.negated:
+        return None if result is None else not result
+    return result
+
+
+def _arith(op: str, left: object, right: object) -> object:
+    if left is None or right is None:
+        return None
+    if not isinstance(left, int | float) or not isinstance(right, int | float):
+        raise EngineError("arithmetic over non-numeric values")
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise EngineError("division by zero")
+        return left / right
+    raise EngineError(f"unknown arithmetic operator {op!r}")

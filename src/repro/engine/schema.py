@@ -1,0 +1,141 @@
+"""Schema objects: columns, tables, foreign keys.
+
+:class:`Schema` also implements the :class:`repro.relalg.translate.SchemaInfo`
+protocol (``columns_of``), so the same object drives both execution and
+CQ translation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.engine.types import ColumnType
+from repro.sqlir import ast
+from repro.util.errors import IntegrityError
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: name, type, nullability."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A single-column foreign key ``column -> ref_table.ref_column``."""
+
+    column: str
+    ref_table: str
+    ref_column: str
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A table: ordered columns, optional primary key, foreign keys."""
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...] = ()
+    foreign_keys: tuple[ForeignKey, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise IntegrityError(f"duplicate column in table {self.name!r}")
+        for key_col in self.primary_key:
+            if key_col not in names:
+                raise IntegrityError(
+                    f"primary key column {key_col!r} not in table {self.name!r}"
+                )
+        for fk in self.foreign_keys:
+            if fk.column not in names:
+                raise IntegrityError(
+                    f"foreign key column {fk.column!r} not in table {self.name!r}"
+                )
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def index_of(self, column: str) -> int:
+        try:
+            return self.column_names.index(column)
+        except ValueError:
+            raise IntegrityError(
+                f"table {self.name!r} has no column {column!r}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.index_of(name)]
+
+
+@dataclass
+class Schema:
+    """A database schema: a named collection of tables."""
+
+    tables: dict[str, TableSchema] = field(default_factory=dict)
+
+    @staticmethod
+    def of(*tables: TableSchema) -> "Schema":
+        schema = Schema()
+        for table in tables:
+            schema.add(table)
+        return schema
+
+    def add(self, table: TableSchema) -> None:
+        if table.name in self.tables:
+            raise IntegrityError(f"table {table.name!r} already exists")
+        for fk in table.foreign_keys:
+            if fk.ref_table not in self.tables and fk.ref_table != table.name:
+                raise IntegrityError(
+                    f"foreign key of {table.name!r} references unknown table"
+                    f" {fk.ref_table!r}"
+                )
+        self.tables[table.name] = table
+
+    def table(self, name: str) -> TableSchema:
+        if name not in self.tables:
+            raise IntegrityError(f"unknown table {name!r}")
+        return self.tables[name]
+
+    # SchemaInfo protocol (used by the CQ translator).
+    def columns_of(self, table: str) -> Sequence[str]:
+        if table not in self.tables:
+            raise KeyError(table)
+        return self.tables[table].column_names
+
+    def table_names(self) -> Iterable[str]:
+        return self.tables.keys()
+
+    @staticmethod
+    def from_create_statements(statements: Iterable[ast.CreateTable]) -> "Schema":
+        """Build a schema from parsed CREATE TABLE statements."""
+        schema = Schema()
+        for stmt in statements:
+            columns = tuple(
+                Column(
+                    name=c.name,
+                    type=ColumnType.from_sql(c.type_name),
+                    nullable=c.nullable and not c.primary_key,
+                )
+                for c in stmt.columns
+            )
+            primary = tuple(c.name for c in stmt.columns if c.primary_key)
+            fks = tuple(
+                ForeignKey(column=c.name, ref_table=c.references[0], ref_column=c.references[1])
+                for c in stmt.columns
+                if c.references is not None
+            )
+            schema.add(
+                TableSchema(
+                    name=stmt.name,
+                    columns=columns,
+                    primary_key=primary,
+                    foreign_keys=fks,
+                )
+            )
+        return schema

@@ -1,0 +1,142 @@
+"""Table storage: rows, primary-key enforcement, secondary hash indexes."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.engine.schema import TableSchema
+from repro.engine.types import check_value
+from repro.util.errors import IntegrityError
+
+
+class Table:
+    """Row storage for one table.
+
+    Rows are tuples in schema column order, stored in a dict keyed by a
+    monotonically increasing row id (so deletes are O(1) and iteration
+    order is deterministic). Every column has a secondary hash index —
+    with in-memory scale this is cheap and makes the equality lookups the
+    executor issues O(1).
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: dict[int, tuple] = {}
+        self._next_id = 0
+        self._indexes: list[dict[object, set[int]]] = [
+            {} for _ in schema.columns
+        ]
+        self._pk_index: dict[tuple, int] = {}
+        self._pk_positions = tuple(
+            schema.index_of(c) for c in schema.primary_key
+        )
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[tuple]:
+        """All rows in insertion order."""
+        for row_id in sorted(self._rows):
+            yield self._rows[row_id]
+
+    def row_items(self) -> Iterator[tuple[int, tuple]]:
+        for row_id in sorted(self._rows):
+            yield row_id, self._rows[row_id]
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, values: Sequence[object]) -> int:
+        """Insert one row (values in schema order); returns its row id."""
+        schema = self.schema
+        if len(values) != len(schema.columns):
+            raise IntegrityError(
+                f"table {schema.name!r} expects {len(schema.columns)} values,"
+                f" got {len(values)}"
+            )
+        row = []
+        for value, column in zip(values, schema.columns):
+            checked = check_value(value, column.type, column.name)
+            if checked is None and not column.nullable:
+                raise IntegrityError(
+                    f"column {column.name!r} of {schema.name!r} is NOT NULL"
+                )
+            row.append(checked)
+        row_tuple = tuple(row)
+        if self._pk_positions:
+            key = tuple(row_tuple[i] for i in self._pk_positions)
+            if key in self._pk_index:
+                raise IntegrityError(
+                    f"duplicate primary key {key!r} in table {schema.name!r}"
+                )
+        row_id = self._next_id
+        self._next_id += 1
+        self._rows[row_id] = row_tuple
+        for position, value in enumerate(row_tuple):
+            self._indexes[position].setdefault(value, set()).add(row_id)
+        if self._pk_positions:
+            self._pk_index[tuple(row_tuple[i] for i in self._pk_positions)] = row_id
+        return row_id
+
+    def delete_ids(self, row_ids: Iterable[int]) -> int:
+        count = 0
+        for row_id in list(row_ids):
+            row = self._rows.pop(row_id, None)
+            if row is None:
+                continue
+            count += 1
+            for position, value in enumerate(row):
+                bucket = self._indexes[position].get(value)
+                if bucket is not None:
+                    bucket.discard(row_id)
+                    if not bucket:
+                        del self._indexes[position][value]
+            if self._pk_positions:
+                self._pk_index.pop(tuple(row[i] for i in self._pk_positions), None)
+        return count
+
+    def update_id(self, row_id: int, new_values: Sequence[object]) -> None:
+        if row_id not in self._rows:
+            raise IntegrityError(f"no row {row_id} in table {self.schema.name!r}")
+        self.delete_ids([row_id])
+        # Re-insert under the same id to keep ordering stable.
+        saved_next = self._next_id
+        self._next_id = row_id
+        try:
+            self.insert(new_values)
+        finally:
+            self._next_id = max(saved_next, row_id + 1)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, column: str, value: object) -> Iterator[tuple[int, tuple]]:
+        """Rows with ``column = value`` via the hash index."""
+        position = self.schema.index_of(column)
+        for row_id in sorted(self._indexes[position].get(value, ())):
+            yield row_id, self._rows[row_id]
+
+    def contains_value(self, column: str, value: object) -> bool:
+        position = self.schema.index_of(column)
+        return value in self._indexes[position]
+
+    # -- snapshots -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A cheap structural copy sufficient to restore later."""
+        return {
+            "rows": dict(self._rows),
+            "next_id": self._next_id,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        self._rows = dict(snapshot["rows"])
+        self._next_id = snapshot["next_id"]
+        self._rebuild_indexes()
+
+    def _rebuild_indexes(self) -> None:
+        self._indexes = [{} for _ in self.schema.columns]
+        self._pk_index = {}
+        for row_id, row in self._rows.items():
+            for position, value in enumerate(row):
+                self._indexes[position].setdefault(value, set()).add(row_id)
+            if self._pk_positions:
+                self._pk_index[tuple(row[i] for i in self._pk_positions)] = row_id

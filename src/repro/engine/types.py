@@ -1,0 +1,56 @@
+"""Column types and value checking for the engine."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.util.errors import IntegrityError
+
+
+class ColumnType(enum.Enum):
+    """The engine's four storable types (NULL is absence of a value)."""
+
+    INT = "INT"
+    TEXT = "TEXT"
+    REAL = "REAL"
+    BOOL = "BOOL"
+
+    @staticmethod
+    def from_sql(type_name: str) -> "ColumnType":
+        normalized = type_name.upper()
+        if normalized in ("INT", "INTEGER"):
+            return ColumnType.INT
+        if normalized in ("TEXT", "VARCHAR"):
+            return ColumnType.TEXT
+        if normalized in ("REAL", "FLOAT"):
+            return ColumnType.REAL
+        if normalized == "BOOLEAN":
+            return ColumnType.BOOL
+        raise IntegrityError(f"unknown column type {type_name!r}")
+
+
+def check_value(value: object, column_type: ColumnType, column: str) -> object:
+    """Validate and coerce ``value`` for storage in a column of this type.
+
+    INT accepts bools as ints would be surprising, so bools are rejected
+    for INT/REAL; INT values are accepted for REAL columns and widened.
+    """
+    if value is None:
+        return None
+    if column_type is ColumnType.INT:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise IntegrityError(f"column {column!r} expects INT, got {value!r}")
+        return value
+    if column_type is ColumnType.REAL:
+        if isinstance(value, bool) or not isinstance(value, int | float):
+            raise IntegrityError(f"column {column!r} expects REAL, got {value!r}")
+        return float(value)
+    if column_type is ColumnType.TEXT:
+        if not isinstance(value, str):
+            raise IntegrityError(f"column {column!r} expects TEXT, got {value!r}")
+        return value
+    if column_type is ColumnType.BOOL:
+        if not isinstance(value, bool):
+            raise IntegrityError(f"column {column!r} expects BOOL, got {value!r}")
+        return value
+    raise AssertionError(column_type)

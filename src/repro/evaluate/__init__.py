@@ -1,0 +1,58 @@
+"""Policy evaluation (§4): does a policy disclose sensitive data?
+
+* :mod:`repro.evaluate.answers` — evaluating CQs over plain instances;
+  possible/certain answer machinery shared by the checkers.
+* :mod:`repro.evaluate.pqi` / :mod:`repro.evaluate.nqi` — the paper's
+  proposed prior-agnostic criteria: positive and negative query
+  implication (Benedikt et al., adapted to view-based access control).
+* :mod:`repro.evaluate.kanon` — k-anonymity with generalization
+  hierarchies (another prior-agnostic criterion the paper cites).
+* :mod:`repro.evaluate.bayes` — the Bayesian belief-shift baseline (§4.2),
+  used to demonstrate the prior-sensitivity that motivates §4.3.
+"""
+
+from repro.evaluate.answers import evaluate_cq, evaluate_ucq, view_image
+from repro.evaluate.bounded import BoundedResult, bounded_nqi, bounded_pqi
+from repro.evaluate.pqi import PQIResult, check_pqi
+from repro.evaluate.nqi import NQIResult, check_nqi
+from repro.evaluate.kanon import (
+    GeneralizationHierarchy,
+    age_hierarchy,
+    find_minimal_generalization,
+    k_anonymity,
+    l_diversity,
+    suppress_to_k,
+    zip_hierarchy,
+)
+from repro.evaluate.bayes import (
+    BeliefReport,
+    ChoicePrior,
+    TupleIndependentPrior,
+    posterior_over_sensitive,
+    total_variation,
+)
+
+__all__ = [
+    "BeliefReport",
+    "BoundedResult",
+    "ChoicePrior",
+    "GeneralizationHierarchy",
+    "NQIResult",
+    "PQIResult",
+    "TupleIndependentPrior",
+    "age_hierarchy",
+    "bounded_nqi",
+    "bounded_pqi",
+    "check_nqi",
+    "check_pqi",
+    "evaluate_cq",
+    "evaluate_ucq",
+    "find_minimal_generalization",
+    "k_anonymity",
+    "l_diversity",
+    "posterior_over_sensitive",
+    "suppress_to_k",
+    "total_variation",
+    "view_image",
+    "zip_hierarchy",
+]

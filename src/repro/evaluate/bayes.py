@@ -1,0 +1,169 @@
+"""The Bayesian disclosure baseline (§4.2) and its prior sensitivity.
+
+Bayesian privacy models disclosure as the shift in an adversary's belief
+about a sensitive query's answer after observing the views. The paper's
+argument for prior-agnostic criteria (§4.3) is that this shift depends on
+the adversary's *prior*, which cannot be validated empirically.
+Experiment E8 makes that argument quantitative: the same policy and the
+same database produce wildly different belief shifts under different
+priors, while the PQI/NQI verdicts stay fixed.
+
+Two prior families are implemented:
+
+* :class:`TupleIndependentPrior` — every potential tuple is present
+  independently with its own probability (the classic model of Miklau &
+  Suciu).
+* :class:`ChoicePrior` — mutually exclusive alternatives: for each key, a
+  distribution over the possible value tuples (the shape needed to model
+  "each patient has exactly one disease", following Dalvi et al.'s
+  restricted prior families).
+
+The posterior is estimated by Monte-Carlo rejection sampling: sample
+instances from the prior, keep those whose view images match the
+observed ones, and tally the sensitive query's answers.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.evaluate.answers import Instance, evaluate_cq, view_image
+from repro.relalg.cq import CQ
+from repro.relalg.rewrite import ViewDef
+
+
+@dataclass
+class TupleIndependentPrior:
+    """Independent presence probabilities per potential tuple.
+
+    ``fixed`` holds tuples present with probability 1 (public scaffolding
+    like the Patients/Doctors tables); ``uncertain`` maps relation name to
+    a list of (tuple, probability).
+    """
+
+    fixed: Instance = field(default_factory=dict)
+    uncertain: dict[str, list[tuple[tuple, float]]] = field(default_factory=dict)
+
+    def sample(self, rng: random.Random) -> Instance:
+        instance: Instance = {rel: set(rows) for rel, rows in self.fixed.items()}
+        for rel, options in self.uncertain.items():
+            bucket = instance.setdefault(rel, set())
+            for row, probability in options:
+                if rng.random() < probability:
+                    bucket.add(row)
+        return instance
+
+
+@dataclass
+class ChoicePrior:
+    """Mutually exclusive alternatives per key.
+
+    ``choices`` maps a relation name to a list of groups; each group is a
+    list of (tuple, probability) from which *exactly one* tuple is drawn
+    (probabilities within a group must sum to 1).
+    """
+
+    fixed: Instance = field(default_factory=dict)
+    choices: dict[str, list[list[tuple[tuple, float]]]] = field(default_factory=dict)
+
+    def sample(self, rng: random.Random) -> Instance:
+        instance: Instance = {rel: set(rows) for rel, rows in self.fixed.items()}
+        for rel, groups in self.choices.items():
+            bucket = instance.setdefault(rel, set())
+            for group in groups:
+                bucket.add(_draw(group, rng))
+        return instance
+
+
+def _draw(group: Sequence[tuple[tuple, float]], rng: random.Random) -> tuple:
+    roll = rng.random()
+    cumulative = 0.0
+    for row, probability in group:
+        cumulative += probability
+        if roll <= cumulative:
+            return row
+    return group[-1][0]
+
+
+@dataclass
+class BeliefReport:
+    """Prior and posterior beliefs over the sensitive query's answers."""
+
+    prior_distribution: dict[frozenset, float]
+    posterior_distribution: dict[frozenset, float]
+    accepted: int
+    samples: int
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / self.samples if self.samples else 0.0
+
+    @property
+    def belief_shift(self) -> float:
+        """Total-variation distance between prior and posterior."""
+        return total_variation(self.prior_distribution, self.posterior_distribution)
+
+    def top_posterior(self) -> tuple[frozenset, float] | None:
+        if not self.posterior_distribution:
+            return None
+        answer = max(self.posterior_distribution.items(), key=lambda kv: kv[1])
+        return answer
+
+
+def posterior_over_sensitive(
+    prior,
+    views: Sequence[ViewDef],
+    observed_images: dict[str, frozenset],
+    sensitive: CQ,
+    samples: int = 4000,
+    rng: random.Random | None = None,
+    constraint=None,
+) -> BeliefReport:
+    """Monte-Carlo rejection sampling of the posterior belief.
+
+    ``observed_images`` maps view name to the revealed contents (e.g.
+    computed from the real database). ``constraint``, when given, is a
+    predicate over sampled instances encoding background knowledge (e.g.
+    an integrity constraint the adversary knows the world satisfies);
+    samples violating it are rejected alongside view mismatches. The
+    returned report pairs the unconditional prior distribution over
+    sensitive answers with the posterior conditioned on the observation.
+    """
+    rng = rng or random.Random(0)
+    prior_counts: dict[frozenset, int] = {}
+    posterior_counts: dict[frozenset, int] = {}
+    accepted = 0
+    for _ in range(samples):
+        instance = prior.sample(rng)
+        answer = frozenset(evaluate_cq(sensitive, instance))
+        prior_counts[answer] = prior_counts.get(answer, 0) + 1
+        if constraint is not None and not constraint(instance):
+            continue
+        if all(
+            view_image(view.cq, instance) == observed_images.get(view.name, frozenset())
+            for view in views
+        ):
+            accepted += 1
+            posterior_counts[answer] = posterior_counts.get(answer, 0) + 1
+    return BeliefReport(
+        prior_distribution=_normalize(prior_counts, samples),
+        posterior_distribution=_normalize(posterior_counts, accepted),
+        accepted=accepted,
+        samples=samples,
+    )
+
+
+def _normalize(counts: dict[frozenset, int], total: int) -> dict[frozenset, float]:
+    if total == 0:
+        return {}
+    return {answer: count / total for answer, count in counts.items()}
+
+
+def total_variation(
+    left: dict[frozenset, float], right: dict[frozenset, float]
+) -> float:
+    """Total-variation distance between two answer distributions."""
+    keys = set(left) | set(right)
+    return 0.5 * sum(abs(left.get(k, 0.0) - right.get(k, 0.0)) for k in keys)

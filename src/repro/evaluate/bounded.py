@@ -1,0 +1,139 @@
+"""Brute-force PQI/NQI semantics over bounded instance spaces.
+
+The definitions (§4.3, after Benedikt et al. Def. 3.5):
+
+* a row ``t`` is a *possible* answer to ``S`` if ``t ∈ S(D)`` for some
+  database ``D``;
+* ``PQI_S(V)`` holds if revealing the contents of ``V`` could render a
+  possible answer *certain* — there is a view image under which every
+  consistent database answers ``t``;
+* ``NQI_S(V)`` holds if revealing the contents of ``V`` could render a
+  possible answer *impossible* — there is a view image under which no
+  consistent database answers ``t``.
+
+This module checks the definitions *directly*, by enumerating every
+instance over a finite domain and row budget, grouping them by view
+image, and inspecting the answer sets per group. Exponential — usable
+only as a semantic oracle on tiny vocabularies (tests compare the
+production checkers in :mod:`repro.evaluate.pqi` / ``nqi`` against it).
+
+Bounding caveat, for interpreting results: restricting to a finite
+instance space *over-approximates* both criteria (an excluded larger
+database could break a certainty or resurrect a possibility). Hence the
+sound comparison direction is: if the production checker says the
+criterion holds, the oracle must agree on a domain large enough to
+contain the checker's witness values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import itertools
+
+from repro.evaluate.answers import Instance, evaluate_cq
+from repro.relalg.cq import CQ
+from repro.relalg.rewrite import ViewDef
+
+
+def _enumerate_per_relation(
+    arities: dict[str, int], domain: Iterable[object], max_rows: int
+):
+    """All instances with at most ``max_rows`` rows *per relation*.
+
+    A per-relation budget avoids the coupling artifact of a global row
+    budget, where filling one relation would forbid rows in another and
+    manufacture spurious impossibilities.
+    """
+    domain = list(domain)
+    relations = sorted(arities)
+    per_relation_subsets = []
+    for rel in relations:
+        tuples = list(itertools.product(domain, repeat=arities[rel]))
+        subsets = []
+        for size in range(0, max_rows + 1):
+            subsets.extend(set(c) for c in itertools.combinations(tuples, size))
+        per_relation_subsets.append(subsets)
+    for combo in itertools.product(*per_relation_subsets):
+        yield {rel: set(rows) for rel, rows in zip(relations, combo)}
+
+
+@dataclass
+class BoundedResult:
+    """Outcome of a bounded semantic check."""
+
+    holds: bool
+    witness_image: tuple | None = None
+    witness_row: tuple | None = None
+    instances_examined: int = 0
+
+
+def _groups_by_image(
+    views: list[ViewDef],
+    arities: dict[str, int],
+    domain: Iterable[object],
+    max_rows: int,
+):
+    """Group all bounded instances by their tuple of view images."""
+    groups: dict[tuple, list[Instance]] = {}
+    count = 0
+    for instance in _enumerate_per_relation(arities, domain, max_rows):
+        count += 1
+        image = tuple(
+            frozenset(evaluate_cq(view.cq, instance)) for view in views
+        )
+        groups.setdefault(image, []).append(instance)
+    return groups, count
+
+
+def bounded_pqi(
+    sensitive: CQ,
+    views: list[ViewDef],
+    arities: dict[str, int],
+    domain: Iterable[object],
+    max_rows: int = 3,
+) -> BoundedResult:
+    """Does some view image make a possible answer certain (within bounds)?"""
+    groups, count = _groups_by_image(views, arities, domain, max_rows)
+    for image, instances in groups.items():
+        answer_sets = [evaluate_cq(sensitive, instance) for instance in instances]
+        certain = set.intersection(*answer_sets) if answer_sets else set()
+        if certain:
+            return BoundedResult(
+                holds=True,
+                witness_image=image,
+                witness_row=sorted(certain)[0],
+                instances_examined=count,
+            )
+    return BoundedResult(holds=False, instances_examined=count)
+
+
+def bounded_nqi(
+    sensitive: CQ,
+    views: list[ViewDef],
+    arities: dict[str, int],
+    domain: Iterable[object],
+    max_rows: int = 3,
+) -> BoundedResult:
+    """Does some view image rule out a possible answer (within bounds)?"""
+    groups, count = _groups_by_image(views, arities, domain, max_rows)
+    possible: set[tuple] = set()
+    for instances in groups.values():
+        for instance in instances:
+            possible |= evaluate_cq(sensitive, instance)
+    if not possible:
+        return BoundedResult(holds=False, instances_examined=count)
+    for image, instances in groups.items():
+        produced: set[tuple] = set()
+        for instance in instances:
+            produced |= evaluate_cq(sensitive, instance)
+        ruled_out = possible - produced
+        if ruled_out:
+            return BoundedResult(
+                holds=True,
+                witness_image=image,
+                witness_row=sorted(ruled_out)[0],
+                instances_examined=count,
+            )
+    return BoundedResult(holds=False, instances_examined=count)

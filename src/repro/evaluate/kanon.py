@@ -1,0 +1,213 @@
+"""k-anonymity with generalization hierarchies (§4.3's other criterion).
+
+The paper cites k-anonymity (Samarati '01, Sweeney '02) as an existing
+*prior-agnostic* criterion whose practical algorithms assume single-table
+schemas. This module implements that baseline: grouping by
+quasi-identifier, domain generalization hierarchies, and a Samarati-style
+lattice search for a minimal generalization achieving ``k`` (with bounded
+row suppression).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.util.errors import DbacError
+
+
+@dataclass(frozen=True)
+class GeneralizationHierarchy:
+    """A domain generalization hierarchy for one column.
+
+    ``levels[0]`` is the identity; each subsequent level maps a value to
+    a coarser representation. The top level conventionally maps to "*".
+    """
+
+    name: str
+    levels: tuple[Callable[[object], object], ...]
+
+    @property
+    def height(self) -> int:
+        return len(self.levels) - 1
+
+    def apply(self, level: int, value: object) -> object:
+        if not 0 <= level < len(self.levels):
+            raise DbacError(f"hierarchy {self.name!r} has no level {level}")
+        return self.levels[level](value)
+
+
+def age_hierarchy() -> GeneralizationHierarchy:
+    """Ages: exact → 5-year band → 10-year band → 20-year band → ``*``."""
+
+    def band(width: int):
+        def generalize(value: object) -> object:
+            if not isinstance(value, int):
+                return "*"
+            low = (value // width) * width
+            return f"{low}-{low + width - 1}"
+
+        return generalize
+
+    return GeneralizationHierarchy(
+        name="age",
+        levels=(lambda v: v, band(5), band(10), band(20), lambda v: "*"),
+    )
+
+
+def zip_hierarchy() -> GeneralizationHierarchy:
+    """ZIP codes: mask one trailing digit per level (02139 → 0213* → ...)."""
+
+    def mask(digits: int):
+        def generalize(value: object) -> object:
+            text = str(value)
+            if digits >= len(text):
+                return "*" * len(text)
+            return text[: len(text) - digits] + "*" * digits
+
+        return generalize
+
+    return GeneralizationHierarchy(
+        name="zip",
+        levels=(lambda v: v, mask(1), mask(2), mask(3), lambda v: "*" * len(str(v))),
+    )
+
+
+def categorical_hierarchy(name: str) -> GeneralizationHierarchy:
+    """Categorical columns: exact value or fully suppressed."""
+    return GeneralizationHierarchy(name=name, levels=(lambda v: v, lambda v: "*"))
+
+
+# --------------------------------------------------------------------------
+# Measurement
+# --------------------------------------------------------------------------
+
+
+def k_anonymity(rows: Sequence[tuple], quasi_indexes: Sequence[int]) -> int:
+    """The k of a release: the size of the smallest quasi-identifier group.
+
+    An empty release is vacuously anonymous; by convention we return 0 so
+    callers can distinguish it from any real guarantee.
+    """
+    if not rows:
+        return 0
+    groups: dict[tuple, int] = {}
+    for row in rows:
+        key = tuple(row[i] for i in quasi_indexes)
+        groups[key] = groups.get(key, 0) + 1
+    return min(groups.values())
+
+
+def l_diversity(
+    rows: Sequence[tuple],
+    quasi_indexes: Sequence[int],
+    sensitive_index: int,
+) -> int:
+    """The l of a release: distinct sensitive values in the smallest group.
+
+    k-anonymity alone leaves the homogeneity attack open — a group of
+    k identical sensitive values discloses the value exactly (this is the
+    Example 4.1 inference in microdata form). An empty release returns 0.
+    """
+    if not rows:
+        return 0
+    groups: dict[tuple, set] = {}
+    for row in rows:
+        key = tuple(row[i] for i in quasi_indexes)
+        groups.setdefault(key, set()).add(row[sensitive_index])
+    return min(len(values) for values in groups.values())
+
+
+def generalize_rows(
+    rows: Sequence[tuple],
+    quasi_indexes: Sequence[int],
+    hierarchies: Sequence[GeneralizationHierarchy],
+    levels: Sequence[int],
+) -> list[tuple]:
+    """Apply per-column generalization levels to the quasi-identifiers."""
+    if not (len(quasi_indexes) == len(hierarchies) == len(levels)):
+        raise DbacError("quasi_indexes, hierarchies, and levels must align")
+    out = []
+    for row in rows:
+        new_row = list(row)
+        for position, hierarchy, level in zip(quasi_indexes, hierarchies, levels):
+            new_row[position] = hierarchy.apply(level, row[position])
+        out.append(tuple(new_row))
+    return out
+
+
+def suppress_to_k(
+    rows: Sequence[tuple], quasi_indexes: Sequence[int], k: int
+) -> tuple[list[tuple], int]:
+    """Drop rows in groups smaller than ``k``; returns (kept, suppressed)."""
+    groups: dict[tuple, list[tuple]] = {}
+    for row in rows:
+        key = tuple(row[i] for i in quasi_indexes)
+        groups.setdefault(key, []).append(row)
+    kept: list[tuple] = []
+    suppressed = 0
+    for members in groups.values():
+        if len(members) >= k:
+            kept.extend(members)
+        else:
+            suppressed += len(members)
+    return kept, suppressed
+
+
+@dataclass
+class GeneralizationResult:
+    """Outcome of the minimal-generalization search."""
+
+    levels: tuple[int, ...]
+    rows: list[tuple]
+    suppressed: int
+    k: int
+
+    @property
+    def total_level(self) -> int:
+        return sum(self.levels)
+
+
+def find_minimal_generalization(
+    rows: Sequence[tuple],
+    quasi_indexes: Sequence[int],
+    hierarchies: Sequence[GeneralizationHierarchy],
+    k: int,
+    max_suppressed: int = 0,
+) -> GeneralizationResult | None:
+    """Samarati-style search: the lowest-total-level node of the
+    generalization lattice that achieves ``k`` with at most
+    ``max_suppressed`` rows suppressed.
+
+    Lattice nodes are visited in increasing total level (breadth of the
+    lattice), so the first hit is height-minimal.
+    """
+    if k <= 1:
+        return GeneralizationResult(
+            levels=tuple(0 for _ in hierarchies), rows=list(rows), suppressed=0, k=k
+        )
+    heights = [h.height for h in hierarchies]
+    max_total = sum(heights)
+    for total in range(max_total + 1):
+        for levels in _levels_with_total(heights, total):
+            generalized = generalize_rows(rows, quasi_indexes, hierarchies, levels)
+            kept, suppressed = suppress_to_k(generalized, quasi_indexes, k)
+            if suppressed <= max_suppressed and kept:
+                achieved = k_anonymity(kept, quasi_indexes)
+                if achieved >= k:
+                    return GeneralizationResult(
+                        levels=tuple(levels),
+                        rows=kept,
+                        suppressed=suppressed,
+                        k=achieved,
+                    )
+    return None
+
+
+def _levels_with_total(heights: Sequence[int], total: int):
+    """All level vectors bounded by ``heights`` summing to ``total``."""
+    ranges = [range(h + 1) for h in heights]
+    for combo in itertools.product(*ranges):
+        if sum(combo) == total:
+            yield combo

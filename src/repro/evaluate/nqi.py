@@ -1,0 +1,116 @@
+"""Negative Query Implication (§4.3).
+
+``NQI_S(V)`` holds when revealing the contents of the views ``V`` could
+render a *possible* answer to the sensitive query ``S`` *impossible*.
+
+Checking algorithm
+------------------
+
+The constructive sufficient condition is the mirror image of PQI: if
+there is a *containing* rewriting — a query ``R`` over the views whose
+expansion contains ``S`` (``S ⊑ expansion(R)``) — then every answer of
+``S`` must appear in ``R`` evaluated over the view contents. A possible
+answer ``t`` absent from ``R(V(D))`` is therefore impossible on every
+database with those view contents.
+
+This matches Example 4.2: with ``V = {Q2}`` (adults) and ``S = Q1``
+(seniors), the identity rewriting over Q2 contains Q1, so NQI holds —
+anyone *not* listed as an adult certainly isn't a senior.
+
+The checker also materializes an illustrative instance pair: a database
+``D`` on which some row ``t`` is a possible answer to ``S``, and the
+(empty-view) contents under which ``t`` becomes impossible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evaluate.answers import Instance
+from repro.relalg.cq import CQ
+from repro.relalg.chase import TGD, chase
+from repro.relalg.frozen import freeze
+from repro.relalg.rewrite import Rewriting, ViewDef, enumerate_rewritings
+from repro.relalg.containment import cq_contained_in, satisfiable
+from repro.relalg.constraints import ConstraintSet
+from repro.util.errors import DbacError
+
+
+@dataclass
+class NQIResult:
+    """Outcome of an NQI check."""
+
+    holds: bool
+    sensitive: CQ
+    method: str
+    witness: Rewriting | None = None
+    possible_row: tuple | None = None
+    possible_instance: Instance | None = None
+
+    def explain(self) -> str:
+        if not self.holds:
+            return (
+                "no NQI witness found: the views place no upper bound on"
+                f" the sensitive query's answers ({self.method})"
+            )
+        assert self.witness is not None
+        lines = [
+            "NQI holds: revealing the views can rule out possible answers"
+            " to the sensitive query.",
+            f"  bounding rewriting: {self.witness.describe()}",
+        ]
+        if self.possible_row is not None:
+            lines.append(
+                f"  e.g. {self.possible_row!r} is possible a priori, but"
+                " impossible whenever it is absent from the rewriting's"
+                " answer over the revealed views"
+            )
+        return "\n".join(lines)
+
+
+def check_nqi(
+    sensitive: CQ,
+    views: list[ViewDef],
+    constraints: list[TGD] | None = None,
+    max_candidates: int = 2000,
+) -> NQIResult:
+    """Check NQI of the views against a sensitive CQ (instantiated)."""
+    if constraints:
+        sensitive = chase(sensitive, constraints)
+    if not satisfiable(sensitive):
+        return NQIResult(
+            holds=False, sensitive=sensitive, method="sensitive query unsatisfiable"
+        )
+    for candidate in enumerate_rewritings(
+        sensitive, views, max_candidates=max_candidates, allow_partial=True
+    ):
+        if not candidate.atoms:
+            continue
+        expansion = candidate.expansion
+        if not ConstraintSet(expansion.comps).consistent():
+            continue
+        if not cq_contained_in(sensitive, expansion):
+            continue
+        instance, row = _possible_witness(sensitive)
+        return NQIResult(
+            holds=True,
+            sensitive=sensitive,
+            method="containing rewriting",
+            witness=candidate,
+            possible_row=row,
+            possible_instance=instance,
+        )
+    return NQIResult(
+        holds=False,
+        sensitive=sensitive,
+        method=f"rewriting enumeration (budget {max_candidates})",
+    )
+
+
+def _possible_witness(sensitive: CQ) -> tuple[Instance | None, tuple | None]:
+    try:
+        frozen = freeze(sensitive)
+    except DbacError:
+        return None, None
+    instance: Instance = {rel: set(rows) for rel, rows in frozen.facts.items()}
+    return instance, frozen.head_row

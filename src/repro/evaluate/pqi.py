@@ -1,0 +1,124 @@
+"""Positive Query Implication (§4.3).
+
+``PQI_S(V)`` holds when revealing the contents of the views ``V`` could
+render a *possible* answer to the sensitive query ``S`` *certain*
+(Benedikt et al., Def. 3.5, adapted to view-based access control).
+
+Checking algorithm
+------------------
+
+The constructive sufficient condition: if ``S`` has a satisfiable
+*contained rewriting* ``R`` over ``V``, then PQI holds — on any database
+where ``R`` returns a row ``t``, every database with the same view
+contents also returns ``t`` from ``R``, and ``R``'s containment in ``S``
+makes ``t`` a certain answer to ``S``. The checker materializes this
+witness: it freezes the rewriting's expansion into a concrete database
+``D`` and reports the row rendered certain.
+
+This matches Example 4.2: with ``V = {Q1}`` (seniors) and ``S = Q2``
+(adults), the identity rewriting over Q1 is contained in Q2, so PQI
+holds; anyone listed as a senior is certainly an adult.
+
+A ``False`` verdict means no witness was found within the enumeration
+budget — sound evidence of absence for the conjunctive fragment the
+generator covers, reported with the caveat in :attr:`PQIResult.method`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evaluate.answers import Instance, evaluate_cq
+from repro.relalg.cq import CQ
+from repro.relalg.chase import TGD, chase
+from repro.relalg.frozen import freeze
+from repro.relalg.rewrite import Rewriting, ViewDef, enumerate_rewritings
+from repro.relalg.containment import cq_contained_in, satisfiable
+from repro.relalg.constraints import ConstraintSet
+from repro.util.errors import DbacError
+
+
+@dataclass
+class PQIResult:
+    """Outcome of a PQI check."""
+
+    holds: bool
+    sensitive: CQ
+    method: str
+    witness: Rewriting | None = None
+    witness_instance: Instance | None = None
+    certain_row: tuple | None = None
+
+    def explain(self) -> str:
+        if not self.holds:
+            return (
+                "no PQI witness found: no satisfiable combination of the"
+                " views pins down an answer to the sensitive query"
+                f" ({self.method})"
+            )
+        assert self.witness is not None
+        lines = [
+            "PQI holds: revealing the views can render an answer to the"
+            " sensitive query certain.",
+            f"  witness rewriting: {self.witness.describe()}",
+        ]
+        if self.certain_row is not None:
+            lines.append(f"  e.g. the answer row {self.certain_row!r} becomes certain")
+        return "\n".join(lines)
+
+
+def check_pqi(
+    sensitive: CQ,
+    views: list[ViewDef],
+    constraints: list[TGD] | None = None,
+    max_candidates: int = 2000,
+) -> PQIResult:
+    """Check PQI of the views against a sensitive CQ.
+
+    The sensitive query and views must be instantiated (no free params).
+    """
+    original = sensitive
+    if constraints:
+        # Candidates are generated over the chased query (more subgoals,
+        # more coverage opportunities); validity is containment *under the
+        # constraints*: chase(expansion) ⊑ original sensitive query.
+        sensitive = chase(sensitive, constraints)
+    if not satisfiable(sensitive):
+        return PQIResult(
+            holds=False, sensitive=sensitive, method="sensitive query unsatisfiable"
+        )
+    for candidate in enumerate_rewritings(sensitive, views, max_candidates=max_candidates):
+        if not candidate.atoms:
+            continue  # must actually use a view
+        expansion = candidate.expansion
+        if not ConstraintSet(expansion.comps).consistent():
+            continue
+        expansion_chased = chase(expansion, constraints) if constraints else expansion
+        if not cq_contained_in(expansion_chased, original):
+            continue
+        witness_instance, certain_row = _materialize(expansion)
+        return PQIResult(
+            holds=True,
+            sensitive=sensitive,
+            method="contained rewriting",
+            witness=candidate,
+            witness_instance=witness_instance,
+            certain_row=certain_row,
+        )
+    return PQIResult(
+        holds=False,
+        sensitive=sensitive,
+        method=f"rewriting enumeration (budget {max_candidates})",
+    )
+
+
+def _materialize(expansion: CQ) -> tuple[Instance | None, tuple | None]:
+    """Freeze the witness expansion into a concrete database and row."""
+    try:
+        frozen = freeze(expansion)
+    except DbacError:
+        return None, None
+    instance: Instance = {rel: set(rows) for rel, rows in frozen.facts.items()}
+    rows = evaluate_cq(expansion, instance)
+    row = frozen.head_row if frozen.head_row in rows else (next(iter(rows), None))
+    return instance, row

@@ -1,0 +1,58 @@
+"""Policy extraction (§3): generate a draft policy from an application.
+
+Two extractors, matching the paper's two proposals:
+
+* :mod:`repro.extract.symbolic` — language-based extraction (§3.2.1):
+  symbolically execute handlers written in the :mod:`repro.extract.handlers`
+  DSL, enumerate per-query path conditions, and compile condition-guarded
+  queries into views.
+* :mod:`repro.extract.miner` — language-agnostic extraction (§3.2.2):
+  run the application black-box, collect query traces, and generalize
+  them into views, controlled by a policy-size budget, opaque-identifier
+  hints, and active constraint discovery (:mod:`repro.extract.active`).
+"""
+
+from repro.extract.handlers import (
+    Abort,
+    And,
+    Assign,
+    Compare,
+    ConstArg,
+    FieldRef,
+    ForEach,
+    Handler,
+    If,
+    IsEmpty,
+    Not,
+    ParamRef,
+    Query,
+    Return,
+    SessionRef,
+    run_handler,
+)
+from repro.extract.symbolic import SymbolicExtractor
+from repro.extract.miner import MinerConfig, TraceMiner
+from repro.extract.active import ActiveConstraintDiscovery
+
+__all__ = [
+    "Abort",
+    "ActiveConstraintDiscovery",
+    "And",
+    "Assign",
+    "Compare",
+    "ConstArg",
+    "FieldRef",
+    "ForEach",
+    "Handler",
+    "If",
+    "IsEmpty",
+    "MinerConfig",
+    "Not",
+    "ParamRef",
+    "Query",
+    "Return",
+    "SessionRef",
+    "SymbolicExtractor",
+    "TraceMiner",
+    "run_handler",
+]

@@ -1,0 +1,195 @@
+"""Active constraint discovery (§3.2.2, third control).
+
+The paper's example: unsure whether an ``Attendance`` row's ``notes``
+value matters to access checking, mutate the cell to a random string and
+re-run the application; if the subsequent trace is unaffected, ``notes``
+does not affect access and can be omitted from the policy.
+
+Two probes are implemented, both built on database snapshot/restore and
+concrete re-execution of a recorded request:
+
+* :meth:`constant_is_data_derived` — a constant that appears in a query
+  may be baked into the code (``Visibility = 'friends'``) or flow from
+  data fetched earlier in the request (an event id read from a prior
+  result). Mutate the source cell and re-run: if the query's constant
+  follows the mutation, it is data-derived and must be generalized.
+* :meth:`guard_is_load_bearing` — a candidate guard (a prior non-empty
+  query) may be coincidental. Delete the rows satisfying the guard and
+  re-run: if the guarded query is still issued, the guard does not
+  actually protect it and must not narrow the extracted view.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine.database import Database
+from repro.sqlir import ast
+from repro.util.errors import DbacError
+from repro.extract.handlers import run_handler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workloads.runner import WorkloadApp
+
+
+class ActiveConstraintDiscovery:
+    """Mutate-and-re-run probes against a snapshot of the database."""
+
+    def __init__(self, app: "WorkloadApp", db: Database):
+        self.app = app
+        self.db = db
+
+    # -- probes ----------------------------------------------------------------
+
+    def constant_is_data_derived(self, trace, event, slot: int) -> bool:
+        """Does ``event``'s slot constant flow from an earlier result?
+
+        Finds a preceding event whose result contains the constant,
+        mutates the matching base-table cell, re-runs the request, and
+        checks whether the constant in the re-observed query changed.
+        """
+        from repro.extract.miner import RecordingConnection
+
+        value = event.values[slot]
+        source = self._find_source(trace, event, value)
+        if source is None:
+            return False
+        table, column, row_filter = source
+        mutated = self._pick_mutation(table, column, value)
+        if mutated is None:
+            return False
+        snapshot = self.db.snapshot()
+        try:
+            try:
+                self._mutate_cell(table, column, row_filter, mutated)
+            except DbacError:
+                return False  # constraint in the way; probe inconclusive
+            recorder = RecordingConnection(self.db)
+            handler = self.app.handlers[trace.request.handler]
+            try:
+                run_handler(
+                    handler, recorder, trace.request.params, trace.request.session
+                )
+            except DbacError:
+                return False
+            for replay in recorder.events:
+                if replay.sql_skeleton.statement != event.sql_skeleton.statement:
+                    continue
+                if slot < len(replay.values) and replay.values[slot] == mutated:
+                    return True
+            return False
+        finally:
+            self.db.restore(snapshot)
+
+    def guard_is_load_bearing(self, trace, event, guard_key: object) -> bool:
+        """Does removing the guard's rows stop the guarded query?
+
+        True (keep the guard) when deleting the rows that satisfied the
+        guard makes the guarded query disappear from the re-run trace.
+        """
+        from repro.extract.miner import RecordingConnection, _last_guard_event
+
+        guard_event = _last_guard_event(trace, event, guard_key)
+        if guard_event is None:
+            return False
+        statement = guard_event.statement
+        if not isinstance(statement, ast.Select) or len(statement.sources) != 1:
+            # Join guards are not probed; keeping them is the conservative
+            # (more restrictive) choice for an extracted policy.
+            return True
+        if statement.joins:
+            return True
+        snapshot = self.db.snapshot()
+        try:
+            delete = ast.Delete(table=statement.sources[0].name, where=statement.where)
+            self.db.sql(delete)
+            recorder = RecordingConnection(self.db)
+            handler = self.app.handlers[trace.request.handler]
+            try:
+                run_handler(
+                    handler, recorder, trace.request.params, trace.request.session
+                )
+            except DbacError:
+                # The handler now fails outright: the guard clearly matters.
+                return True
+            for replay in recorder.events:
+                if replay.sql_skeleton.statement == event.sql_skeleton.statement:
+                    return False  # still issued without the guard rows
+            return True
+        finally:
+            self.db.restore(snapshot)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _find_source(self, trace, event, value):
+        """Locate (table, column, row-filter) producing ``value`` earlier
+        in the request, for single-table source queries."""
+        for prior in trace.events:
+            if prior.index >= event.index:
+                break
+            statement = prior.statement
+            if not isinstance(statement, ast.Select) or statement.joins:
+                continue
+            if len(statement.sources) != 1:
+                continue
+            if value not in {v for row in prior.result.rows for v in row}:
+                continue
+            column_index = None
+            for row in prior.result.rows:
+                if value in row:
+                    column_index = row.index(value)
+                    break
+            if column_index is None:
+                continue
+            column = prior.result.columns[column_index]
+            table = statement.sources[0].name
+            if column not in self.db.schema.table(table).column_names:
+                continue
+            return table, column, statement.where
+        return None
+
+    def _pick_mutation(self, table: str, column: str, value: object) -> object | None:
+        """Choose a replacement value that respects foreign keys.
+
+        For an FK column, pick a *different existing* value of the
+        referenced column so the mutation stays valid; otherwise derive a
+        fresh value from the old one.
+        """
+        schema = self.db.schema.table(table)
+        for fk in schema.foreign_keys:
+            if fk.column != column:
+                continue
+            referenced = self.db.query(
+                ast.Select(
+                    items=(
+                        ast.SelectItem(ast.Column(table=fk.ref_table, name=fk.ref_column)),
+                    ),
+                    sources=(ast.TableRef.of(fk.ref_table),),
+                    distinct=True,
+                )
+            )
+            for (candidate,) in referenced.rows:
+                if candidate != value:
+                    return candidate
+            return None
+        return _mutated_value(value)
+
+    def _mutate_cell(self, table: str, column: str, row_filter, new_value) -> None:
+        update = ast.Update(
+            table=table,
+            assignments=((column, ast.Literal(new_value)),),
+            where=row_filter,
+        )
+        self.db.sql(update)
+
+
+def _mutated_value(value: object) -> object:
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1_000_003
+    if isinstance(value, float):
+        return value + 1_000_003.0
+    if isinstance(value, str):
+        return value + "_mutated"
+    return value

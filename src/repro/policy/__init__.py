@@ -1,0 +1,31 @@
+"""Policies: parameterized SQL views and operations over sets of them.
+
+A policy, in the paper's concrete setting (§2.2), is a set of SQL views
+parameterized by the current user (``?MyUId``). The enforcement proxy
+allows a query when its answer is guaranteed to reveal no more than the
+instantiated views do.
+"""
+
+from repro.policy.view import View
+from repro.policy.policy import Policy
+from repro.policy.serialize import policy_from_text, policy_to_text
+from repro.policy.lint import LintFinding, lint_policy
+from repro.policy.compare import (
+    PolicyComparison,
+    compare_policies,
+    policy_allows,
+    views_equivalent,
+)
+
+__all__ = [
+    "LintFinding",
+    "Policy",
+    "PolicyComparison",
+    "View",
+    "compare_policies",
+    "policy_allows",
+    "lint_policy",
+    "policy_from_text",
+    "policy_to_text",
+    "views_equivalent",
+]

@@ -1,0 +1,138 @@
+"""Comparing views and policies.
+
+Used to score extracted policies against hand-written ground truth
+(experiments E4–E6) and to diff policies for patch generation (§5.2.1).
+
+Equivalence of parameterized views aligns parameters *by name* — the
+extraction pipeline emits the same canonical parameter names
+(``?MyUId``) the ground-truth policies use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.policy.policy import Policy
+from repro.policy.view import View
+from repro.relalg.containment import ucq_contained_in
+from repro.relalg.cq import CQ, UCQ
+from repro.relalg.rewrite import ViewDef, find_equivalent_rewriting
+
+
+def views_equivalent(left: View, right: View) -> bool:
+    """Are two views equivalent queries (params aligned by name)?"""
+    left_q = _pin_params(left.ucq)
+    right_q = _pin_params(right.ucq)
+    return ucq_contained_in(left_q, right_q) and ucq_contained_in(right_q, left_q)
+
+
+def view_subsumed(left: View, right: View) -> bool:
+    """Is ``left`` contained in ``right`` (right reveals at least as much)?"""
+    return ucq_contained_in(_pin_params(left.ucq), _pin_params(right.ucq))
+
+
+def view_covered_by(view: View, policy: Policy) -> bool:
+    """Does ``policy`` as a whole already reveal the contents of ``view``?
+
+    True when the view's query has an equivalent rewriting over the
+    policy's views (information subsumption), with parameters aligned by
+    name on both sides. This is arity-insensitive: a projection or a
+    re-join of policy views counts as covered.
+    """
+    if not view.is_conjunctive:
+        # Fall back to per-disjunct plain containment for UCQ views.
+        return all(
+            any(
+                ucq_contained_in(UCQ.of(d), _pin_params(other.ucq))
+                for other in policy
+            )
+            for d in _pin_params(view.ucq).disjuncts
+        )
+    bindings = _sentinel_bindings(policy, view)
+    pinned = view.ucq.instantiate(bindings).disjuncts[0]
+    defs = []
+    for other in policy:
+        if other.is_conjunctive:
+            defs.append(
+                ViewDef(other.name, other.ucq.instantiate(bindings).disjuncts[0])
+            )
+    return find_equivalent_rewriting(pinned, defs) is not None
+
+
+def _sentinel_bindings(policy: Policy, view: View) -> dict[str, object]:
+    names = set(view.param_names)
+    for other in policy:
+        names.update(other.param_names)
+    return {name: f"\x00param:{name}" for name in names}
+
+
+def _pin_params(query: UCQ) -> UCQ:
+    """Replace each named param with a distinct sentinel constant.
+
+    Containment treats params conservatively (never provably equal); for
+    view *comparison* we want ``?MyUId`` on both sides to unify, so we pin
+    each name to a unique sentinel value instead.
+    """
+    bindings = {p.name: f"\x00param:{p.name}" for p in query.params()}
+    return query.instantiate(bindings)
+
+
+@dataclass
+class PolicyComparison:
+    """Precision/recall of a candidate policy against ground truth."""
+
+    matched_candidate: list[str] = field(default_factory=list)
+    unmatched_candidate: list[str] = field(default_factory=list)
+    matched_truth: list[str] = field(default_factory=list)
+    unmatched_truth: list[str] = field(default_factory=list)
+
+    @property
+    def precision(self) -> float:
+        total = len(self.matched_candidate) + len(self.unmatched_candidate)
+        return len(self.matched_candidate) / total if total else 1.0
+
+    @property
+    def recall(self) -> float:
+        total = len(self.matched_truth) + len(self.unmatched_truth)
+        return len(self.matched_truth) / total if total else 1.0
+
+    @property
+    def exact(self) -> bool:
+        return not self.unmatched_candidate and not self.unmatched_truth
+
+    def describe(self) -> str:
+        return (
+            f"precision={self.precision:.2f} recall={self.recall:.2f}"
+            f" (missing: {', '.join(self.unmatched_truth) or 'none'};"
+            f" extra: {', '.join(self.unmatched_candidate) or 'none'})"
+        )
+
+
+def compare_policies(candidate: Policy, truth: Policy) -> PolicyComparison:
+    """Match candidate views against ground-truth views by *coverage*.
+
+    A candidate view counts as correct (precision) when the ground-truth
+    policy as a whole already reveals its contents; a truth view counts
+    as recovered (recall) when the candidate policy as a whole reveals
+    it. Coverage is information subsumption via view rewriting, so
+    extraction may split, merge, or re-project views without being
+    penalized — what matters is the information the policy reveals.
+    """
+    comparison = PolicyComparison()
+    for view in candidate:
+        if view_covered_by(view, truth):
+            comparison.matched_candidate.append(view.name)
+        else:
+            comparison.unmatched_candidate.append(view.name)
+    for truth_view in truth:
+        if view_covered_by(truth_view, candidate):
+            comparison.matched_truth.append(truth_view.name)
+        else:
+            comparison.unmatched_truth.append(truth_view.name)
+    return comparison
+
+
+def policy_allows(policy: Policy, query: CQ, bindings: dict[str, object]) -> bool:
+    """Does the instantiated policy allow ``query`` with no trace history?"""
+    views = policy.view_defs(bindings)
+    return find_equivalent_rewriting(query, views) is not None

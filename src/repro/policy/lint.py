@@ -1,0 +1,137 @@
+"""Policy linting: sanity checks before a policy goes to production.
+
+The paper's §4 opens with "a policy, be it hand-written or extracted,
+should be sanity-checked before being put into production". The deep
+check is disclosure analysis (:mod:`repro.evaluate`); this module covers
+the shallow-but-frequent mistakes an operator tool should catch first:
+
+* **redundant views** — a view whose contents the rest of the policy
+  already reveals (dead weight that obscures review);
+* **broad views** — unparameterized views exposing whole base tables,
+  the "overly permissive" smell §3.2 says extracted drafts must be
+  reviewed for;
+* **shadowed parameters** — a view whose parameter set differs from the
+  policy norm (often a typo like ``?MyUid`` vs ``?MyUId``);
+* **non-conjunctive views** — representable but unusable for justifying
+  queries under the rewriting-based checker, so effectively dead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.policy.policy import Policy
+from repro.relalg.rewrite import ViewDef, find_equivalent_rewriting
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One linter finding."""
+
+    severity: str  # "warning" | "info"
+    view: str
+    code: str
+    message: str
+
+    def describe(self) -> str:
+        return f"[{self.severity}] {self.view} ({self.code}): {self.message}"
+
+
+def lint_policy(policy: Policy) -> list[LintFinding]:
+    """Run all lint checks; findings are ordered by view then check."""
+    findings: list[LintFinding] = []
+    usage: dict[str, int] = {}
+    for view in policy:
+        for name in view.param_names:
+            usage[name] = usage.get(name, 0) + 1
+    popular = {name for name, count in usage.items() if count >= 2}
+
+    for view in policy:
+        if not view.is_conjunctive:
+            findings.append(
+                LintFinding(
+                    severity="warning",
+                    view=view.name,
+                    code="non-conjunctive",
+                    message=(
+                        "view is a union of conjunctive queries; it cannot"
+                        " justify query allowance under the rewriting-based"
+                        " checker (consider splitting it into one view per"
+                        " disjunct)"
+                    ),
+                )
+            )
+            continue
+        if not view.param_names:
+            findings.append(
+                LintFinding(
+                    severity="info",
+                    view=view.name,
+                    code="broad",
+                    message=(
+                        "view is unparameterized: every user sees its whole"
+                        " contents — confirm this is deliberate"
+                    ),
+                )
+            )
+        # A parameter used by this view alone, while other views agree on
+        # a different one, is usually a typo (?MyUid vs ?MyUId).
+        for name in sorted(set(view.param_names)):
+            if usage.get(name, 0) == 1 and popular and name not in popular:
+                findings.append(
+                    LintFinding(
+                        severity="warning",
+                        view=view.name,
+                        code="lone-param",
+                        message=(
+                            f"parameter ?{name} is used only by this view,"
+                            f" while the policy standardizes on"
+                            f" {', '.join('?' + p for p in sorted(popular))}"
+                            " — possible typo"
+                        ),
+                    )
+                )
+
+    findings.extend(_redundancy_findings(policy))
+    return findings
+
+
+def _redundancy_findings(policy: Policy) -> list[LintFinding]:
+    findings = []
+    conjunctive = [view for view in policy if view.is_conjunctive]
+    bindings = {name: f"\x00param:{name}" for name in policy.param_names()}
+    pinned: dict[str, ViewDef] = {}
+    for view in conjunctive:
+        pinned[view.name] = ViewDef(
+            view.name, view.ucq.instantiate(bindings).disjuncts[0]
+        )
+    # Greedy basis: a view is redundant only w.r.t. the views not already
+    # flagged — otherwise a mutually-derivable pair would both be flagged,
+    # and removing both would actually change the policy. Narrower views
+    # (fewer exposed columns) are tested first so the informative one of a
+    # derivable pair stays in the basis.
+    flagged: set[str] = set()
+    conjunctive = sorted(conjunctive, key=lambda v: len(v.cq.head))
+    for view in conjunctive:
+        others = [
+            d
+            for name, d in pinned.items()
+            if name != view.name and name not in flagged
+        ]
+        if not others:
+            continue
+        if find_equivalent_rewriting(pinned[view.name].cq, others) is not None:
+            flagged.add(view.name)
+            findings.append(
+                LintFinding(
+                    severity="info",
+                    view=view.name,
+                    code="redundant",
+                    message=(
+                        "the rest of the policy already reveals this view's"
+                        " contents; removing it changes nothing"
+                    ),
+                )
+            )
+    return findings
+

@@ -1,0 +1,83 @@
+"""The Policy object: an allow-list of views."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.policy.view import View
+from repro.relalg.rewrite import ViewDef
+from repro.util.errors import PolicyError
+
+
+class Policy:
+    """A set of named views; everything not derivable from them is denied.
+
+    The paper (§5.1, footnote 2) argues for allow-lists: they implement
+    least privilege naturally, because the policy states exactly the
+    minimum information the application needs.
+    """
+
+    def __init__(self, views: Iterable[View] = (), name: str = "policy"):
+        self.name = name
+        self._views: dict[str, View] = {}
+        for view in views:
+            self.add(view)
+
+    def add(self, view: View) -> None:
+        if view.name in self._views:
+            raise PolicyError(f"duplicate view name {view.name!r}")
+        self._views[view.name] = view
+
+    def remove(self, name: str) -> None:
+        if name not in self._views:
+            raise PolicyError(f"no view named {name!r}")
+        del self._views[name]
+
+    def __iter__(self) -> Iterator[View]:
+        return iter(self._views.values())
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    def view(self, name: str) -> View:
+        if name not in self._views:
+            raise PolicyError(f"no view named {name!r}")
+        return self._views[name]
+
+    @property
+    def views(self) -> list[View]:
+        return list(self._views.values())
+
+    def param_names(self) -> list[str]:
+        names: set[str] = set()
+        for view in self:
+            names.update(view.param_names)
+        return sorted(names)
+
+    def view_defs(self, bindings: Mapping[str, object]) -> list[ViewDef]:
+        """Instantiated definitions for the rewriting engine.
+
+        Non-conjunctive views are skipped (they cannot justify allowance;
+        skipping is the conservative direction).
+        """
+        defs = []
+        for view in self:
+            if view.is_conjunctive:
+                defs.append(view.view_def(bindings))
+        return defs
+
+    def with_view(self, view: View) -> "Policy":
+        """A copy of this policy with one more view (for patch candidates)."""
+        copy = Policy(self.views, name=self.name)
+        copy.add(view)
+        return copy
+
+    def describe(self) -> str:
+        lines = [f"policy {self.name} ({len(self)} views)"]
+        for view in self:
+            suffix = f"  -- {view.description}" if view.description else ""
+            lines.append(f"  {view.name}: {view.sql}{suffix}")
+        return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Policy (de)serialization: a small line-oriented text format.
+
+Format::
+
+    # Calendar application policy
+    view V1 -- each user sees the IDs of events they attend
+      SELECT EId FROM Attendance WHERE UId = ?MyUId
+    view V2 -- each user sees details of events they attend
+      SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId
+      WHERE a.UId = ?MyUId
+
+A ``view <name> [-- description]`` header starts a view; subsequent
+indented (or plain) lines up to the next header form its SQL. Blank lines
+and ``#`` comments are ignored between views.
+"""
+
+from __future__ import annotations
+
+from repro.policy.policy import Policy
+from repro.policy.view import View
+from repro.relalg.translate import SchemaInfo
+from repro.util.errors import PolicyError
+
+
+def policy_to_text(policy: Policy) -> str:
+    """Serialize a policy to the text format above."""
+    lines = [f"# policy {policy.name}"]
+    for view in policy:
+        header = f"view {view.name}"
+        if view.description:
+            header += f" -- {view.description}"
+        lines.append(header)
+        lines.append(f"  {view.sql}")
+    return "\n".join(lines) + "\n"
+
+
+def policy_from_text(text: str, schema: SchemaInfo, name: str = "policy") -> Policy:
+    """Parse the text format back into a :class:`Policy`."""
+    views: list[View] = []
+    current_name: str | None = None
+    current_description = ""
+    current_sql: list[str] = []
+
+    def flush() -> None:
+        nonlocal current_name, current_description, current_sql
+        if current_name is None:
+            return
+        sql = " ".join(part.strip() for part in current_sql).strip()
+        if not sql:
+            raise PolicyError(f"view {current_name!r} has no SQL")
+        views.append(View(current_name, sql, schema, current_description))
+        current_name = None
+        current_description = ""
+        current_sql = []
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("view "):
+            flush()
+            header = line[len("view ") :]
+            if "--" in header:
+                view_name, _, description = header.partition("--")
+                current_name = view_name.strip()
+                current_description = description.strip()
+            else:
+                current_name = header.strip()
+            if not current_name:
+                raise PolicyError("view header without a name")
+            continue
+        if current_name is None:
+            raise PolicyError(f"SQL outside of a view block: {line!r}")
+        current_sql.append(line)
+    flush()
+    return Policy(views, name=name)

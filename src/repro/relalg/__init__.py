@@ -1,0 +1,40 @@
+"""Conjunctive-query IR and the reasoning algorithms built on it.
+
+This package is the substrate for everything "smart" in the reproduction:
+
+* :mod:`repro.relalg.cq` — terms, atoms, comparison constraints, CQ/UCQ.
+* :mod:`repro.relalg.constraints` — closure over ``= != < <=`` used for
+  consistency and implication checks.
+* :mod:`repro.relalg.translate` — SQL SELECT → UCQ, given a schema.
+* :mod:`repro.relalg.containment` — homomorphism-based containment
+  (sound for the SPJ + comparison fragment; see module docs).
+* :mod:`repro.relalg.frozen` — canonical ("frozen") database instances.
+* :mod:`repro.relalg.minimize` — CQ core computation.
+* :mod:`repro.relalg.rewrite` — answering queries using views (bucket
+  algorithm, used for query-narrowing patches and PQI checking).
+"""
+
+from repro.relalg.cq import CQ, UCQ, Atom, Comp, Const, Param, Term, Var
+from repro.relalg.constraints import ConstraintSet
+from repro.relalg.containment import cq_contained_in, ucq_contained_in
+from repro.relalg.translate import SchemaInfo, translate_select
+from repro.relalg.frozen import freeze
+from repro.relalg.minimize import minimize_cq
+
+__all__ = [
+    "CQ",
+    "UCQ",
+    "Atom",
+    "Comp",
+    "Const",
+    "ConstraintSet",
+    "Param",
+    "SchemaInfo",
+    "Term",
+    "Var",
+    "cq_contained_in",
+    "freeze",
+    "minimize_cq",
+    "translate_select",
+    "ucq_contained_in",
+]

@@ -1,0 +1,130 @@
+"""CQ minimization (core computation).
+
+A conjunctive query is minimized by repeatedly deleting a body atom and
+checking that the smaller query is still contained in the original (the
+reverse containment is automatic — deleting an atom only relaxes the
+query). The result is the *core*, unique up to variable renaming.
+
+Redundant comparisons — those implied by the remaining ones — are dropped
+as well, which keeps extracted policy views readable.
+"""
+
+from __future__ import annotations
+
+from repro.relalg.constraints import ConstraintSet
+from repro.relalg.cq import CQ, UCQ, Var
+from repro.relalg.containment import cq_contained_in, ucq_contained_in
+
+
+def minimize_cq(query: CQ) -> CQ:
+    """Return the core of ``query`` (equivalent, with minimal body)."""
+    current = query
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current.body)):
+            candidate = CQ(
+                head=current.head,
+                body=current.body[:index] + current.body[index + 1 :],
+                comps=current.comps,
+                head_names=current.head_names,
+                name=current.name,
+            )
+            if not candidate.body:
+                continue
+            remaining_vars = candidate.body_variables()
+            if any(
+                isinstance(term, Var) and term not in remaining_vars
+                for term in candidate.head
+            ):
+                continue  # removal would orphan a head variable
+            # candidate has fewer atoms, hence current ⊑ candidate always;
+            # equivalence needs candidate ⊑ current.
+            if cq_contained_in(candidate, current):
+                cleaned = _eliminate_dangling(candidate)
+                if cleaned is None:
+                    continue  # removal would strand a comparison variable
+                current = cleaned
+                changed = True
+                break
+    return _drop_implied_comps(current)
+
+
+def _eliminate_dangling(query: CQ) -> CQ | None:
+    """Rewrite comparisons off variables no longer bound by the body.
+
+    After an atom removal, comparisons may reference variables that only
+    the removed atom bound. Each such variable is substituted by an
+    equal surviving term (via the equality closure); comparisons that
+    become tautological are dropped. Returns None when a dangling
+    variable cannot be eliminated — the caller then keeps the atom.
+    """
+    alive = query.body_variables()
+    closure = ConstraintSet(query.comps)
+    alive_sorted = sorted(alive, key=lambda v: v.name)
+
+    def rewrite(term):
+        if not isinstance(term, Var) or term in alive:
+            return term
+        pinned = closure.canon(term)
+        if not isinstance(pinned, Var):
+            return pinned  # a constant or param representative
+        for candidate in alive_sorted:
+            if closure.equal(term, candidate):
+                return candidate
+        return None
+
+    comps = []
+    for comp in query.comps:
+        left = rewrite(comp.left)
+        right = rewrite(comp.right)
+        if left is None or right is None:
+            return None
+        if left == right and comp.op in ("=", "<="):
+            continue
+        comps.append(type(comp)(comp.op, left, right))
+    return CQ(
+        head=query.head,
+        body=query.body,
+        comps=tuple(comps),
+        head_names=query.head_names,
+        name=query.name,
+    )
+
+
+def _drop_implied_comps(query: CQ) -> CQ:
+    """Remove comparisons implied by the remaining ones."""
+    comps = list(query.comps)
+    index = 0
+    while index < len(comps):
+        rest = comps[:index] + comps[index + 1 :]
+        if ConstraintSet(rest).implies(comps[index]):
+            comps = rest
+        else:
+            index += 1
+    # Drop comparisons over variables that no longer appear in the body or
+    # head *only if implied*; dangling comps must be kept (they constrain
+    # the query) — but after core computation the body no longer binds such
+    # variables, so keep them regardless for soundness.
+    if len(comps) == len(query.comps):
+        return query
+    return CQ(
+        head=query.head,
+        body=query.body,
+        comps=tuple(comps),
+        head_names=query.head_names,
+        name=query.name,
+    )
+
+
+def minimize_ucq(query: UCQ) -> UCQ:
+    """Minimize each disjunct and drop disjuncts contained in the rest."""
+    disjuncts = [minimize_cq(d) for d in query.disjuncts]
+    index = 0
+    while index < len(disjuncts) and len(disjuncts) > 1:
+        rest = disjuncts[:index] + disjuncts[index + 1 :]
+        if ucq_contained_in(disjuncts[index], UCQ(tuple(rest))):
+            disjuncts = rest
+        else:
+            index += 1
+    return UCQ(tuple(disjuncts), query.name)

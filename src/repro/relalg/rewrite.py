@@ -1,0 +1,507 @@
+"""Answering queries using views: rewriting enumeration and validation.
+
+This module implements the machinery behind three parts of the paper:
+
+* **Enforcement** (§2.2, the Blockaid setting): a query is compliant when
+  ``Q ∧ trace-facts`` has an *equivalent* rewriting over the policy views —
+  its answer is then computable from information the policy already
+  reveals. :func:`find_equivalent_rewriting`.
+* **Query-narrowing patches** (§5.2.2): a blocked query is narrowed to a
+  *maximally contained* rewriting using the views (Levy et al. '95; with
+  comparisons per Afrati et al. '06). :func:`maximally_contained_rewritings`.
+* **PQI checking** (§4.3): a non-trivial contained rewriting of a
+  sensitive query witnesses positive query implication.
+
+The generator is bucket-style with MiniCon-flavored multi-subgoal
+coverage: for each view we enumerate partial homomorphisms from the view
+body onto subsets of the query body; candidates are assembled by covering
+every query subgoal, then validated by *expansion containment* — the
+candidate's expansion over base relations must be contained in (or
+equivalent to) the query. Validation by expansion keeps generation simple
+and sound: an over-eager candidate is simply rejected.
+
+Trace facts (ground atoms known from prior query answers) participate as
+zero-cost coverage: a subgoal matching a known fact needs no view.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.relalg.constraints import ConstraintSet
+from repro.relalg.cq import CQ, Atom, Comp, Const, Param, Term, Var, fresh_var_factory
+from repro.relalg.containment import cq_contained_in
+
+
+@dataclass(frozen=True)
+class ViewDef:
+    """A named view with a CQ definition; the head is what the view exposes."""
+
+    name: str
+    cq: CQ
+
+
+@dataclass(frozen=True)
+class Rewriting:
+    """A validated rewriting of a query using views (and trace facts).
+
+    ``atoms`` are applications of views (relation name = view name, args =
+    exposed values); ``fact_atoms`` are the trace facts relied upon;
+    ``rewriting`` is the executable query over the view relations;
+    ``expansion`` is its unfolding over base relations.
+    """
+
+    atoms: tuple[Atom, ...]
+    fact_atoms: tuple[Atom, ...]
+    rewriting: CQ
+    expansion: CQ
+
+    def describe(self) -> str:
+        parts = [repr(a) for a in self.atoms]
+        if self.fact_atoms:
+            parts.append("facts: " + ", ".join(repr(f) for f in self.fact_atoms))
+        return " AND ".join(parts) if parts else "(trivial)"
+
+
+# --------------------------------------------------------------------------
+# Coverage descriptors
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Descriptor:
+    """One way to cover a set of query subgoals.
+
+    Either a view application (``view`` set, with the argument tuple the
+    rewrite atom will carry) or a trace fact (``fact`` set).
+    """
+
+    covers: frozenset[int]
+    view: str | None
+    args: tuple[Term, ...]
+    fact: Atom | None
+
+
+def _view_descriptors(
+    query: CQ,
+    closure: ConstraintSet,
+    view: ViewDef,
+    fresh,
+    needed: set[Var],
+) -> list[_Descriptor]:
+    """Enumerate partial homomorphisms from the view body into the query body.
+
+    Each consistent mapping of a non-empty subset of the view's atoms onto
+    query subgoals yields a descriptor, provided every *needed* query
+    variable touched by the covered subgoals is exposed through the view
+    head (or fixed to a constant).
+    """
+    view_cq = view.cq.rename_apart({v.name for v in query.variables()})
+    head_vars = {t for t in view_cq.head if isinstance(t, Var)}
+    descriptors: list[_Descriptor] = []
+    seen: set[tuple] = set()
+    body = view_cq.body
+
+    def match(view_atom: Atom, subgoal: Atom, phi: dict[Var, Term]) -> dict[Var, Term] | None:
+        if view_atom.rel != subgoal.rel or len(view_atom.args) != len(subgoal.args):
+            return None
+        extension: dict[Var, Term] = {}
+        for view_arg, q_arg in zip(view_atom.args, subgoal.args):
+            if isinstance(view_arg, Var):
+                bound = phi.get(view_arg, extension.get(view_arg))
+                if bound is None:
+                    extension[view_arg] = q_arg
+                elif not closure.equal(bound, q_arg):
+                    return None
+            else:
+                # Constant/param inside the view body must be matched by a
+                # provably equal query term.
+                if not closure.equal(view_arg, q_arg):
+                    return None
+        return extension
+
+    def emit(phi: dict[Var, Term], covered: frozenset[int]) -> None:
+        # Exposure check (MiniCon property): a query variable touched by
+        # the covered subgoals must be recoverable from the view head
+        # unless this descriptor covers *every* subgoal using it — a join
+        # internal to one view application needs no exposure.
+        exposed_images = {phi[v] for v in head_vars if v in phi}
+        query_head_vars = {t for t in query.head if isinstance(t, Var)}
+        for index in covered:
+            for arg in query.body[index].args:
+                if not isinstance(arg, Var) or arg not in needed:
+                    continue
+                if isinstance(closure.canon(arg), Const):
+                    continue  # pinned to a constant; nothing to expose
+                if any(closure.equal(arg, image) for image in exposed_images):
+                    continue
+                needed_outside = arg in query_head_vars or any(
+                    other_index not in covered
+                    and arg in query.body[other_index].variables()
+                    for other_index in range(len(query.body))
+                )
+                if needed_outside:
+                    return  # needed variable hidden by this view use
+        # The view's own comparisons must not contradict the query's (a view
+        # filtering age >= 60 cannot cover a subgoal constrained to age < 30).
+        combined = ConstraintSet(
+            list(query.comps) + [c.substitute(phi) for c in view_cq.comps]
+        )
+        if not combined.consistent():
+            return
+        # Build the rewrite-atom argument list from the view head.
+        args: list[Term] = []
+        for term in view_cq.head:
+            if isinstance(term, Var):
+                image = phi.get(term)
+                if image is None:
+                    image = fresh()  # unrestricted output column
+                args.append(image)
+            else:
+                args.append(term)
+        key = (view.name, tuple(args), covered)
+        if key in seen:
+            return
+        seen.add(key)
+        descriptors.append(
+            _Descriptor(covers=covered, view=view.name, args=tuple(args), fact=None)
+        )
+
+    def extend(atom_index: int, phi: dict[Var, Term], covered: frozenset[int]) -> None:
+        if atom_index == len(body):
+            if covered:
+                emit(phi, covered)
+            return
+        view_atom = body[atom_index]
+        # Option 1: leave this view atom unmapped.
+        extend(atom_index + 1, phi, covered)
+        # Option 2: map it onto some query subgoal.
+        for index, subgoal in enumerate(query.body):
+            extension = match(view_atom, subgoal, phi)
+            if extension is None:
+                continue
+            phi.update(extension)
+            extend(atom_index + 1, phi, covered | {index})
+            for key in extension:
+                del phi[key]
+
+    extend(0, {}, frozenset())
+    return descriptors
+
+
+def _fact_descriptors(
+    query: CQ, closure: ConstraintSet, facts: Sequence[Atom]
+) -> list[_Descriptor]:
+    descriptors = []
+    for fact in facts:
+        for index, subgoal in enumerate(query.body):
+            if fact.rel != subgoal.rel or len(fact.args) != len(subgoal.args):
+                continue
+            if all(
+                closure.equal(fact_arg, q_arg)
+                for fact_arg, q_arg in zip(fact.args, subgoal.args)
+            ):
+                descriptors.append(
+                    _Descriptor(
+                        covers=frozenset({index}), view=None, args=fact.args, fact=fact
+                    )
+                )
+    return descriptors
+
+
+def _needed_variables(query: CQ) -> set[Var]:
+    """Variables that must be exposed: head vars and join vars.
+
+    Comparison-only variables are deliberately *not* required: a view
+    whose own body enforces the comparison (e.g. ``Age >= 60``) can cover
+    the subgoal without exposing the column — expansion validation
+    rejects the candidates where the view's constraint is insufficient.
+    """
+    needed: set[Var] = {t for t in query.head if isinstance(t, Var)}
+    counts: dict[Var, int] = {}
+    for atom in query.body:
+        for var in set(atom.variables()):
+            counts[var] = counts.get(var, 0) + 1
+    needed.update(v for v, n in counts.items() if n > 1)
+    return needed
+
+
+# --------------------------------------------------------------------------
+# Expansion
+# --------------------------------------------------------------------------
+
+
+class _Expander:
+    """Unfolds view atoms into base-relation bodies."""
+
+    def __init__(self, views: Sequence[ViewDef]):
+        self.by_name = {v.name: v.cq for v in views}
+
+    def expansion_of(
+        self,
+        rewriting: CQ,
+        view_atoms: Sequence[Atom],
+        fact_atoms: Sequence[Atom],
+    ) -> CQ:
+        body: list[Atom] = list(fact_atoms)
+        comps: list[Comp] = list(rewriting.comps)
+        taken = {v.name for v in rewriting.variables()}
+        for atom in view_atoms:
+            definition = self.by_name[atom.rel]
+            renamed = definition.rename_apart(taken)
+            taken.update(v.name for v in renamed.variables())
+            substitution: dict[Var, Term] = {}
+            for head_term, arg in zip(renamed.head, atom.args):
+                if isinstance(head_term, Var):
+                    existing = substitution.get(head_term)
+                    if existing is None:
+                        substitution[head_term] = arg
+                    elif existing != arg:
+                        comps.append(Comp("=", existing, arg))
+                else:
+                    comps.append(Comp("=", head_term, arg))
+            for body_atom in renamed.body:
+                body.append(body_atom.substitute(substitution))
+            for comp in renamed.comps:
+                comps.append(comp.substitute(substitution))
+        return CQ(
+            head=rewriting.head,
+            body=tuple(body),
+            comps=tuple(comps),
+            head_names=rewriting.head_names,
+            name=(rewriting.name or "R") + "_exp",
+        )
+
+
+# --------------------------------------------------------------------------
+# Candidate assembly
+# --------------------------------------------------------------------------
+
+
+def enumerate_rewritings(
+    query: CQ,
+    views: Sequence[ViewDef],
+    facts: Sequence[Atom] = (),
+    max_candidates: int = 2000,
+    allow_partial: bool = False,
+) -> Iterator[Rewriting]:
+    """Yield well-formed (not yet validated) rewriting candidates.
+
+    With ``allow_partial=True`` the assembly may *skip* subgoals — the
+    shape needed for **containing** rewritings (NQI): an upper bound on
+    the query need not cover subgoals no view mentions, as long as every
+    head variable is still exposed (checked during candidate build).
+
+    Callers validate via the convenience wrappers
+    :func:`find_equivalent_rewriting` / :func:`maximally_contained_rewritings`,
+    or check ``candidate.expansion`` against the query themselves.
+    """
+    closure = ConstraintSet(query.comps)
+    if not closure.consistent():
+        return
+    expander = _Expander(views)
+    fresh = fresh_var_factory("rw")
+    needed = _needed_variables(query)
+    descriptors: list[_Descriptor] = []
+    for view in views:
+        descriptors.extend(_view_descriptors(query, closure, view, fresh, needed))
+    descriptors.extend(_fact_descriptors(query, closure, facts))
+
+    by_subgoal: list[list[_Descriptor]] = [[] for _ in query.body]
+    for descriptor in descriptors:
+        for index in descriptor.covers:
+            by_subgoal[index].append(descriptor)
+    if not allow_partial and any(not bucket for bucket in by_subgoal):
+        return  # some subgoal cannot be covered at all
+    # Order buckets for fast convergence: trace facts first (exact,
+    # zero-cost coverage), then view descriptors covering more subgoals.
+    for bucket in by_subgoal:
+        bucket.sort(key=lambda d: (d.fact is None, -len(d.covers)))
+
+    emitted = 0
+
+    def assemble(index: int, chosen: list[_Descriptor]) -> Iterator[Rewriting]:
+        nonlocal emitted
+        if emitted >= max_candidates:
+            return
+        covered: frozenset[int] = frozenset()
+        for descriptor in chosen:
+            covered |= descriptor.covers
+        while index < len(query.body) and index in covered:
+            index += 1
+        if index == len(query.body):
+            if allow_partial and not chosen:
+                return  # the empty rewriting carries no information
+            candidate = _build(query, closure, chosen, expander)
+            if candidate is not None:
+                emitted += 1
+                yield candidate
+            return
+        for descriptor in by_subgoal[index]:
+            yield from assemble(index + 1, chosen + [descriptor])
+            if emitted >= max_candidates:
+                return
+        if allow_partial:
+            yield from assemble(index + 1, chosen)
+
+    yield from assemble(0, [])
+
+
+def _build(
+    query: CQ,
+    closure: ConstraintSet,
+    chosen: Sequence[_Descriptor],
+    expander: _Expander,
+) -> Rewriting | None:
+    view_atoms: list[Atom] = []
+    fact_atoms: list[Atom] = []
+    seen_atoms: set[Atom] = set()
+    for descriptor in chosen:
+        if descriptor.view is not None:
+            atom = Atom(descriptor.view, descriptor.args)
+        else:
+            assert descriptor.fact is not None
+            atom = descriptor.fact
+        if atom in seen_atoms:
+            continue
+        seen_atoms.add(atom)
+        if descriptor.view is not None:
+            view_atoms.append(atom)
+        else:
+            fact_atoms.append(atom)
+
+    available: set[Term] = set()
+    for atom in view_atoms + fact_atoms:
+        available.update(atom.args)
+
+    def is_available(term: Term) -> bool:
+        if isinstance(term, Const | Param):
+            return True
+        if term in available:
+            return True
+        if isinstance(closure.canon(term), Const):
+            return True
+        return any(
+            isinstance(other, Var) and closure.equal(term, other) for other in available
+        )
+
+    def canonical(term: Term) -> Term | None:
+        """Rewrite a term onto the rewriting's vocabulary, or None."""
+        if isinstance(term, Const | Param) or term in available:
+            return term
+        pinned = closure.canon(term)
+        if isinstance(pinned, Const):
+            return pinned
+        for other in available:
+            if isinstance(other, Var) and closure.equal(term, other):
+                return other
+        return None
+
+    # The rewriting's head must live in its own vocabulary: map each query
+    # head term onto an exposed term (a head variable merely *equal* to an
+    # exposed one is rewritten to it). An unexposable head term kills the
+    # candidate.
+    head: list[Term] = []
+    for term in query.head:
+        mapped = canonical(term)
+        if mapped is None:
+            return None
+        head.append(mapped)
+
+    kept_comps: list[Comp] = []
+    for comp in query.comps:
+        left = canonical(comp.left)
+        right = canonical(comp.right)
+        if left is None or right is None:
+            continue
+        if isinstance(left, Const) and isinstance(right, Const):
+            continue  # ground comparison: true by consistency, drop it
+        if left == right and comp.op in ("=", "<="):
+            continue  # tautology after canonicalization
+        kept_comps.append(Comp(comp.op, left, right))
+    rewriting = CQ(
+        head=tuple(head),
+        body=tuple(view_atoms) + tuple(fact_atoms),
+        comps=tuple(kept_comps),
+        head_names=query.head_names,
+        name=(query.name or "Q") + "_rw",
+    )
+    expansion = expander.expansion_of(rewriting, view_atoms, fact_atoms)
+    return Rewriting(
+        atoms=tuple(view_atoms),
+        fact_atoms=tuple(fact_atoms),
+        rewriting=rewriting,
+        expansion=expansion,
+    )
+
+
+# --------------------------------------------------------------------------
+# Validated entry points
+# --------------------------------------------------------------------------
+
+
+def find_equivalent_rewriting(
+    query: CQ,
+    views: Sequence[ViewDef],
+    facts: Sequence[Atom] = (),
+    max_candidates: int = 2000,
+) -> Rewriting | None:
+    """Find a rewriting whose expansion is *equivalent* to ``query``.
+
+    This is the compliance condition used by the enforcement proxy: the
+    query's answer is then a function of the view contents (plus known
+    trace facts), so executing it reveals nothing beyond the policy.
+    """
+    for candidate in enumerate_rewritings(query, views, facts, max_candidates):
+        expansion = candidate.expansion
+        if cq_contained_in(expansion, query) and cq_contained_in(query, expansion):
+            return candidate
+    return None
+
+
+def maximally_contained_rewritings(
+    query: CQ,
+    views: Sequence[ViewDef],
+    facts: Sequence[Atom] = (),
+    max_candidates: int = 2000,
+) -> list[Rewriting]:
+    """All maximal contained rewritings of ``query`` using ``views``.
+
+    Each returned rewriting's expansion is contained in ``query``,
+    satisfiable, and not strictly contained in another returned
+    rewriting's expansion.
+    """
+    valid: list[Rewriting] = []
+    for candidate in enumerate_rewritings(query, views, facts, max_candidates):
+        expansion = candidate.expansion
+        if not ConstraintSet(expansion.comps).consistent():
+            continue
+        if cq_contained_in(expansion, query):
+            valid.append(candidate)
+    return _prune_non_maximal(valid)
+
+
+def _prune_non_maximal(candidates: list[Rewriting]) -> list[Rewriting]:
+    kept: list[Rewriting] = []
+    for position, candidate in enumerate(candidates):
+        dominated = False
+        for other_position, other in enumerate(candidates):
+            if other_position == position:
+                continue
+            if cq_contained_in(candidate.expansion, other.expansion):
+                if not cq_contained_in(other.expansion, candidate.expansion):
+                    dominated = True
+                    break
+                # Equivalent expansions: keep the structurally smaller one,
+                # breaking ties by enumeration order.
+                if (_size(other), other_position) < (_size(candidate), position):
+                    dominated = True
+                    break
+        if not dominated:
+            kept.append(candidate)
+    return kept
+
+
+def _size(rewriting: Rewriting) -> int:
+    return len(rewriting.atoms) + len(rewriting.fact_atoms)

@@ -1,0 +1,71 @@
+"""SQL front end: lexer, typed AST, recursive-descent parser, printer.
+
+The dialect is the SELECT/INSERT/UPDATE/DELETE subset that the paper's
+examples (and the Blockaid setting it builds on) live in:
+
+* ``SELECT [DISTINCT] items FROM t [alias] [JOIN u ON ...] [WHERE ...]
+  [ORDER BY ...] [LIMIT n]``
+* ``WHERE`` supports ``AND``/``OR``/``NOT``, the six comparison operators,
+  ``IN (literal, ...)``, ``IS [NOT] NULL``, and parameters.
+* Parameters are positional ``?`` or named ``?MyUId`` (the view-parameter
+  syntax used throughout the paper).
+
+Entry points: :func:`parse_sql` for a single statement and
+:func:`to_sql` to print any AST node back to canonical text.
+"""
+
+from repro.sqlir.ast import (
+    Arith,
+    BoolOp,
+    Column,
+    Comparison,
+    CreateTable,
+    Delete,
+    FuncCall,
+    Insert,
+    InList,
+    IsNull,
+    JoinClause,
+    Literal,
+    Not,
+    OrderItem,
+    Param,
+    Select,
+    SelectItem,
+    Star,
+    Statement,
+    TableRef,
+    Update,
+)
+from repro.sqlir.parser import parse_expression, parse_sql
+from repro.sqlir.printer import to_sql
+from repro.sqlir.params import bind_parameters, collect_parameters
+
+__all__ = [
+    "Arith",
+    "BoolOp",
+    "Column",
+    "Comparison",
+    "CreateTable",
+    "Delete",
+    "FuncCall",
+    "InList",
+    "Insert",
+    "IsNull",
+    "JoinClause",
+    "Literal",
+    "Not",
+    "OrderItem",
+    "Param",
+    "Select",
+    "SelectItem",
+    "Star",
+    "Statement",
+    "TableRef",
+    "Update",
+    "bind_parameters",
+    "collect_parameters",
+    "parse_expression",
+    "parse_sql",
+    "to_sql",
+]

@@ -1,0 +1,75 @@
+"""Parameter handling: discovery and binding.
+
+Queries carry positional (``?``) and named (``?MyUId``) parameters.
+Binding replaces each :class:`~repro.sqlir.ast.Param` with a
+:class:`~repro.sqlir.ast.Literal`, producing a fully ground statement that
+both the engine and the reasoning layer can consume.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.sqlir import ast
+from repro.util.errors import DbacError
+
+
+def collect_parameters(stmt: ast.Statement) -> tuple[list[int], list[str]]:
+    """Return (sorted positional indexes, named parameter names in order).
+
+    Named parameters are de-duplicated but keep first-appearance order.
+    """
+    positional: set[int] = set()
+    named: list[str] = []
+    seen_names: set[str] = set()
+    for expr in ast.statement_expressions(stmt):
+        for node in ast.walk_expr(expr):
+            if isinstance(node, ast.Param):
+                if node.name is not None:
+                    if node.name not in seen_names:
+                        seen_names.add(node.name)
+                        named.append(node.name)
+                elif node.index is not None:
+                    positional.add(node.index)
+    return sorted(positional), named
+
+
+def bind_parameters(
+    stmt: ast.Statement,
+    args: Sequence[object] = (),
+    named: Mapping[str, object] | None = None,
+) -> ast.Statement:
+    """Substitute literals for every parameter in ``stmt``.
+
+    ``args`` supplies positional parameters by index; ``named`` supplies
+    named parameters. Raises :class:`DbacError` on a missing binding — a
+    partially bound query must never reach the engine or the checker.
+    """
+    named = named or {}
+
+    def replace(node: ast.Expr) -> ast.Expr:
+        if isinstance(node, ast.Exists):
+            bound_sub = bind_parameters(node.query, args, named)
+            assert isinstance(bound_sub, ast.Select)
+            return ast.Exists(bound_sub)
+        if not isinstance(node, ast.Param):
+            return node
+        if node.name is not None:
+            if node.name not in named:
+                raise DbacError(f"missing binding for named parameter ?{node.name}")
+            return ast.Literal(_check_value(named[node.name]))
+        assert node.index is not None
+        if node.index >= len(args):
+            raise DbacError(
+                f"missing binding for positional parameter #{node.index}"
+                f" (got {len(args)} arguments)"
+            )
+        return ast.Literal(_check_value(args[node.index]))
+
+    return ast.map_statement(stmt, replace)
+
+
+def _check_value(value: object) -> int | float | str | bool | None:
+    if value is None or isinstance(value, int | float | str | bool):
+        return value
+    raise DbacError(f"unsupported parameter value type: {type(value).__name__}")

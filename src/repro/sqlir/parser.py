@@ -1,0 +1,519 @@
+"""Recursive-descent parser for the dbac SQL dialect.
+
+The grammar is small enough that a hand-written parser stays readable and
+produces precise error positions. Positional ``?`` parameters are numbered
+left-to-right as they are encountered.
+"""
+
+from __future__ import annotations
+
+from repro.sqlir import ast
+from repro.sqlir.tokens import (
+    EOF,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    OP,
+    PARAM,
+    STRING,
+    Token,
+    tokenize,
+)
+from repro.util.errors import ParseError, UnsupportedSqlError
+
+_COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.pos = 0
+        self.param_counter = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != EOF:
+            self.pos += 1
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            self.fail(f"expected {word}")
+
+    def accept_op(self, op: str) -> bool:
+        if self.peek().is_op(op):
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> None:
+        if not self.accept_op(op):
+            self.fail(f"expected {op!r}")
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.kind == IDENT:
+            self.advance()
+            return str(token.value)
+        # Allow non-reserved keywords (type names etc.) as identifiers where
+        # unambiguous — keeps column names like "Key" usable.
+        if token.kind == KEYWORD and token.value in (
+            "KEY",
+            "COUNT",
+            "TEXT",
+            "INT",
+            "INTEGER",
+            "REAL",
+            "FLOAT",
+            "BOOLEAN",
+            "TIME",
+        ):
+            self.advance()
+            return str(token.value)
+        self.fail("expected identifier")
+        raise AssertionError  # unreachable; fail() raises
+
+    def fail(self, message: str) -> None:
+        token = self.peek()
+        raise ParseError(
+            f"{message}, got {token.value!r}", position=token.pos, sql=self.sql
+        )
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        token = self.peek()
+        if token.is_keyword("SELECT"):
+            stmt: ast.Statement = self.parse_select()
+        elif token.is_keyword("INSERT"):
+            stmt = self.parse_insert()
+        elif token.is_keyword("UPDATE"):
+            stmt = self.parse_update()
+        elif token.is_keyword("DELETE"):
+            stmt = self.parse_delete()
+        elif token.is_keyword("CREATE"):
+            stmt = self.parse_create_table()
+        else:
+            self.fail("expected a statement")
+            raise AssertionError
+        self.accept_op(";")
+        if self.peek().kind != EOF:
+            self.fail("unexpected trailing input")
+        return stmt
+
+    def parse_select(self) -> ast.Select:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        items = [self.parse_select_item()]
+        while self.accept_op(","):
+            items.append(self.parse_select_item())
+        self.expect_keyword("FROM")
+        sources = [self.parse_table_ref()]
+        while self.accept_op(","):
+            sources.append(self.parse_table_ref())
+        joins: list[ast.JoinClause] = []
+        while True:
+            kind = None
+            if self.peek().is_keyword("JOIN"):
+                kind = "INNER"
+                self.advance()
+            elif self.peek().is_keyword("INNER"):
+                self.advance()
+                self.expect_keyword("JOIN")
+                kind = "INNER"
+            elif self.peek().is_keyword("LEFT"):
+                self.advance()
+                self.accept_keyword("OUTER")
+                self.expect_keyword("JOIN")
+                kind = "LEFT"
+            if kind is None:
+                break
+            table = self.parse_table_ref()
+            self.expect_keyword("ON")
+            condition = self.parse_expr()
+            joins.append(ast.JoinClause(table=table, on=condition, kind=kind))
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expr()
+        group_by: list[ast.Expr] = []
+        having = None
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_expr())
+            while self.accept_op(","):
+                group_by.append(self.parse_expr())
+            if self.accept_keyword("HAVING"):
+                having = self.parse_expr()
+        order_by: list[ast.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.parse_order_item())
+            while self.accept_op(","):
+                order_by.append(self.parse_order_item())
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            token = self.peek()
+            if token.kind != NUMBER or not isinstance(token.value, int):
+                self.fail("expected integer LIMIT")
+            self.advance()
+            limit = int(token.value)  # type: ignore[arg-type]
+        return ast.Select(
+            items=tuple(items),
+            sources=tuple(sources),
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def parse_select_item(self) -> ast.SelectItem:
+        if self.peek().is_op("*"):
+            self.advance()
+            return ast.SelectItem(ast.Star())
+        # alias.* — identifier followed by ".*"
+        if (
+            self.peek().kind == IDENT
+            and self.peek(1).is_op(".")
+            and self.peek(2).is_op("*")
+        ):
+            table = self.expect_ident()
+            self.advance()  # "."
+            self.advance()  # "*"
+            return ast.SelectItem(ast.Star(table=table))
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.peek().kind == IDENT:
+            alias = self.expect_ident()
+        return ast.SelectItem(expr, alias)
+
+    def parse_order_item(self) -> ast.OrderItem:
+        expr = self.parse_expr()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return ast.OrderItem(expr, descending)
+
+    def parse_table_ref(self) -> ast.TableRef:
+        name = self.expect_ident()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.peek().kind == IDENT:
+            alias = self.expect_ident()
+        return ast.TableRef.of(name, alias)
+
+    def parse_insert(self) -> ast.Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        columns = None
+        if self.accept_op("("):
+            columns = [self.expect_ident()]
+            while self.accept_op(","):
+                columns.append(self.expect_ident())
+            self.expect_op(")")
+        self.expect_keyword("VALUES")
+        rows = [self.parse_value_row()]
+        while self.accept_op(","):
+            rows.append(self.parse_value_row())
+        return ast.Insert(
+            table=table,
+            columns=tuple(columns) if columns is not None else None,
+            rows=tuple(rows),
+        )
+
+    def parse_value_row(self) -> tuple[ast.Expr, ...]:
+        self.expect_op("(")
+        values = [self.parse_expr()]
+        while self.accept_op(","):
+            values.append(self.parse_expr())
+        self.expect_op(")")
+        return tuple(values)
+
+    def parse_update(self) -> ast.Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments = [self.parse_assignment()]
+        while self.accept_op(","):
+            assignments.append(self.parse_assignment())
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expr()
+        return ast.Update(table=table, assignments=tuple(assignments), where=where)
+
+    def parse_assignment(self) -> tuple[str, ast.Expr]:
+        column = self.expect_ident()
+        self.expect_op("=")
+        return column, self.parse_expr()
+
+    def parse_delete(self) -> ast.Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expr()
+        return ast.Delete(table=table, where=where)
+
+    def parse_create_table(self) -> ast.CreateTable:
+        self.expect_keyword("CREATE")
+        self.expect_keyword("TABLE")
+        name = self.expect_ident()
+        self.expect_op("(")
+        columns = [self.parse_column_def()]
+        while self.accept_op(","):
+            columns.append(self.parse_column_def())
+        self.expect_op(")")
+        return ast.CreateTable(name=name, columns=tuple(columns))
+
+    def parse_column_def(self) -> ast.ColumnDef:
+        name = self.expect_ident()
+        token = self.peek()
+        if token.kind != KEYWORD or token.value not in (
+            "INTEGER",
+            "INT",
+            "TEXT",
+            "VARCHAR",
+            "REAL",
+            "FLOAT",
+            "BOOLEAN",
+        ):
+            self.fail("expected a column type")
+        self.advance()
+        type_name = str(token.value)
+        nullable = True
+        primary_key = False
+        references = None
+        while True:
+            if self.accept_keyword("NOT"):
+                self.expect_keyword("NULL")
+                nullable = False
+            elif self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                primary_key = True
+                nullable = False
+            elif self.accept_keyword("REFERENCES"):
+                ref_table = self.expect_ident()
+                self.expect_op("(")
+                ref_column = self.expect_ident()
+                self.expect_op(")")
+                references = (ref_table, ref_column)
+            else:
+                break
+        return ast.ColumnDef(
+            name=name,
+            type_name=type_name,
+            nullable=nullable,
+            primary_key=primary_key,
+            references=references,
+        )
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        operands = [self.parse_and()]
+        while self.accept_keyword("OR"):
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return ast.BoolOp("OR", tuple(self._flatten("OR", operands)))
+
+    def parse_and(self) -> ast.Expr:
+        operands = [self.parse_not()]
+        while self.accept_keyword("AND"):
+            operands.append(self.parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return ast.BoolOp("AND", tuple(self._flatten("AND", operands)))
+
+    @staticmethod
+    def _flatten(op: str, operands: list[ast.Expr]) -> list[ast.Expr]:
+        flat: list[ast.Expr] = []
+        for operand in operands:
+            if isinstance(operand, ast.BoolOp) and operand.op == op:
+                flat.extend(operand.operands)
+            else:
+                flat.append(operand)
+        return flat
+
+    def parse_not(self) -> ast.Expr:
+        if self.accept_keyword("NOT"):
+            return ast.Not(self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> ast.Expr:
+        if self.peek().is_keyword("EXISTS"):
+            self.advance()
+            self.expect_op("(")
+            subquery = self.parse_select()
+            self.expect_op(")")
+            return ast.Exists(subquery)
+        left = self.parse_additive()
+        token = self.peek()
+        if token.kind == OP and token.value in _COMPARISON_OPS:
+            self.advance()
+            right = self.parse_additive()
+            return ast.Comparison(str(token.value), left, right)
+        if token.is_keyword("BETWEEN"):
+            self.advance()
+            low = self.parse_additive()
+            self.expect_keyword("AND")
+            high = self.parse_additive()
+            return ast.BoolOp(
+                "AND",
+                (ast.Comparison(">=", left, low), ast.Comparison("<=", left, high)),
+            )
+        negated = False
+        if token.is_keyword("NOT"):
+            nxt = self.peek(1)
+            if nxt.is_keyword("IN"):
+                self.advance()
+                negated = True
+                token = self.peek()
+        if token.is_keyword("IN"):
+            self.advance()
+            self.expect_op("(")
+            items = [self.parse_additive()]
+            while self.accept_op(","):
+                items.append(self.parse_additive())
+            self.expect_op(")")
+            return ast.InList(left, tuple(items), negated)
+        if token.is_keyword("IS"):
+            self.advance()
+            is_not = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return ast.IsNull(left, negated=is_not)
+        return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == OP and token.value in ("+", "-"):
+                self.advance()
+                left = ast.Arith(str(token.value), left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_primary()
+        while True:
+            token = self.peek()
+            if token.kind == OP and token.value in ("*", "/"):
+                self.advance()
+                left = ast.Arith(str(token.value), left, self.parse_primary())
+            else:
+                return left
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == NUMBER:
+            self.advance()
+            return ast.Literal(token.value)  # type: ignore[arg-type]
+        if token.kind == STRING:
+            self.advance()
+            return ast.Literal(str(token.value))
+        if token.kind == PARAM:
+            self.advance()
+            if token.value is None:
+                param = ast.Param(index=self.param_counter)
+                self.param_counter += 1
+                return param
+            return ast.Param(name=str(token.value))
+        if token.is_keyword("NULL"):
+            self.advance()
+            return ast.Literal(None)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return ast.Literal(False)
+        if token.is_op("-"):
+            self.advance()
+            inner = self.parse_primary()
+            if isinstance(inner, ast.Literal) and isinstance(inner.value, int | float):
+                return ast.Literal(-inner.value)
+            return ast.Arith("-", ast.Literal(0), inner)
+        if token.is_op("("):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_op(")")
+            return expr
+        if token.is_keyword("COUNT"):
+            self.advance()
+            self.expect_op("(")
+            distinct = self.accept_keyword("DISTINCT")
+            if self.accept_op("*"):
+                args: tuple[ast.Expr, ...] = (ast.Star(),)
+            else:
+                args = (self.parse_expr(),)
+            self.expect_op(")")
+            return ast.FuncCall("COUNT", args, distinct)
+        if token.kind == IDENT:
+            name = self.expect_ident()
+            if self.peek().is_op("(") and name.upper() in (
+                "SUM",
+                "MIN",
+                "MAX",
+                "AVG",
+            ):
+                self.advance()
+                distinct = self.accept_keyword("DISTINCT")
+                argument = self.parse_expr()
+                self.expect_op(")")
+                return ast.FuncCall(name.upper(), (argument,), distinct)
+            if self.accept_op("."):
+                column = self.expect_ident()
+                return ast.Column(table=name, name=column)
+            return ast.Column(table=None, name=name)
+        self.fail("expected an expression")
+        raise AssertionError
+
+
+def parse_sql(sql: str) -> ast.Statement:
+    """Parse one SQL statement into the typed AST.
+
+    Raises :class:`ParseError` on malformed input.
+    """
+    return _Parser(sql).parse_statement()
+
+
+def parse_expression(sql: str) -> ast.Expr:
+    """Parse a standalone expression (used by tests and patch rendering)."""
+    parser = _Parser(sql)
+    expr = parser.parse_expr()
+    if parser.peek().kind != EOF:
+        parser.fail("unexpected trailing input")
+    return expr
+
+
+def parse_select(sql: str) -> ast.Select:
+    """Parse SQL that must be a SELECT; raises otherwise."""
+    stmt = parse_sql(sql)
+    if not isinstance(stmt, ast.Select):
+        raise UnsupportedSqlError(f"expected a SELECT statement: {sql!r}")
+    return stmt

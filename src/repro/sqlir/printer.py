@@ -1,0 +1,166 @@
+"""Render AST nodes back to canonical SQL text.
+
+The printer is the inverse of the parser up to normalization: keywords are
+upper-cased, redundant parentheses dropped, and table aliases printed only
+when they differ from the table name. ``parse_sql(to_sql(x))`` equals ``x``
+for every statement the parser accepts (a property test asserts this).
+"""
+
+from __future__ import annotations
+
+from repro.sqlir import ast
+from repro.util.errors import DbacError
+from repro.util.text import comma_join, sql_quote
+
+_PRECEDENCE_PARENS = (ast.BoolOp, ast.Not)
+
+
+def to_sql(node: object) -> str:
+    """Render a statement or expression AST node to SQL text."""
+    if isinstance(node, ast.Statement):
+        return _statement_to_sql(node)
+    if isinstance(node, ast.Expr):
+        return expr_to_sql(node)
+    raise DbacError(f"cannot print object of type {type(node).__name__}")
+
+
+def _statement_to_sql(stmt: ast.Statement) -> str:
+    if isinstance(stmt, ast.Select):
+        return _select_to_sql(stmt)
+    if isinstance(stmt, ast.Insert):
+        return _insert_to_sql(stmt)
+    if isinstance(stmt, ast.Update):
+        return _update_to_sql(stmt)
+    if isinstance(stmt, ast.Delete):
+        return _delete_to_sql(stmt)
+    if isinstance(stmt, ast.CreateTable):
+        return _create_to_sql(stmt)
+    raise DbacError(f"cannot print statement of type {type(stmt).__name__}")
+
+
+def _select_to_sql(stmt: ast.Select) -> str:
+    parts = ["SELECT"]
+    if stmt.distinct:
+        parts.append("DISTINCT")
+    parts.append(comma_join(_select_item_to_sql(item) for item in stmt.items))
+    parts.append("FROM")
+    parts.append(comma_join(_table_ref_to_sql(src) for src in stmt.sources))
+    for join in stmt.joins:
+        keyword = "JOIN" if join.kind == "INNER" else "LEFT JOIN"
+        parts.append(f"{keyword} {_table_ref_to_sql(join.table)} ON {expr_to_sql(join.on)}")
+    if stmt.where is not None:
+        parts.append(f"WHERE {expr_to_sql(stmt.where)}")
+    if stmt.group_by:
+        parts.append("GROUP BY " + comma_join(expr_to_sql(k) for k in stmt.group_by))
+    if stmt.having is not None:
+        parts.append(f"HAVING {expr_to_sql(stmt.having)}")
+    if stmt.order_by:
+        keys = comma_join(
+            expr_to_sql(o.expr) + (" DESC" if o.descending else "") for o in stmt.order_by
+        )
+        parts.append(f"ORDER BY {keys}")
+    if stmt.limit is not None:
+        parts.append(f"LIMIT {stmt.limit}")
+    return " ".join(parts)
+
+
+def _select_item_to_sql(item: ast.SelectItem) -> str:
+    text = expr_to_sql(item.expr)
+    if item.alias is not None:
+        return f"{text} AS {item.alias}"
+    return text
+
+
+def _table_ref_to_sql(ref: ast.TableRef) -> str:
+    if ref.alias != ref.name:
+        return f"{ref.name} {ref.alias}"
+    return ref.name
+
+
+def _insert_to_sql(stmt: ast.Insert) -> str:
+    columns = f" ({comma_join(stmt.columns)})" if stmt.columns is not None else ""
+    rows = comma_join(
+        "(" + comma_join(expr_to_sql(v) for v in row) + ")" for row in stmt.rows
+    )
+    return f"INSERT INTO {stmt.table}{columns} VALUES {rows}"
+
+
+def _update_to_sql(stmt: ast.Update) -> str:
+    sets = comma_join(f"{col} = {expr_to_sql(e)}" for col, e in stmt.assignments)
+    where = f" WHERE {expr_to_sql(stmt.where)}" if stmt.where is not None else ""
+    return f"UPDATE {stmt.table} SET {sets}{where}"
+
+
+def _delete_to_sql(stmt: ast.Delete) -> str:
+    where = f" WHERE {expr_to_sql(stmt.where)}" if stmt.where is not None else ""
+    return f"DELETE FROM {stmt.table}{where}"
+
+
+def _create_to_sql(stmt: ast.CreateTable) -> str:
+    defs = []
+    for col in stmt.columns:
+        pieces = [col.name, col.type_name]
+        if col.primary_key:
+            pieces.append("PRIMARY KEY")
+        elif not col.nullable:
+            pieces.append("NOT NULL")
+        if col.references is not None:
+            table, column = col.references
+            pieces.append(f"REFERENCES {table} ({column})")
+        defs.append(" ".join(pieces))
+    return f"CREATE TABLE {stmt.name} ({comma_join(defs)})"
+
+
+def expr_to_sql(expr: ast.Expr) -> str:
+    """Render an expression node to SQL text."""
+    if isinstance(expr, ast.Literal):
+        return sql_quote(expr.value)
+    if isinstance(expr, ast.Column):
+        if expr.table is not None:
+            return f"{expr.table}.{expr.name}"
+        return expr.name
+    if isinstance(expr, ast.Param):
+        return f"?{expr.name}" if expr.name is not None else "?"
+    if isinstance(expr, ast.Star):
+        return f"{expr.table}.*" if expr.table is not None else "*"
+    if isinstance(expr, ast.Comparison):
+        return f"{_operand(expr.left)} {expr.op} {_operand(expr.right)}"
+    if isinstance(expr, ast.Arith):
+        return f"{_operand(expr.left)} {expr.op} {_operand(expr.right)}"
+    if isinstance(expr, ast.BoolOp):
+        joiner = f" {expr.op} "
+        return joiner.join(_bool_operand(op, expr.op) for op in expr.operands)
+    if isinstance(expr, ast.Not):
+        return f"NOT {_bool_operand(expr.operand, 'NOT')}"
+    if isinstance(expr, ast.InList):
+        keyword = "NOT IN" if expr.negated else "IN"
+        items = comma_join(expr_to_sql(item) for item in expr.items)
+        return f"{_operand(expr.expr)} {keyword} ({items})"
+    if isinstance(expr, ast.IsNull):
+        keyword = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"{_operand(expr.expr)} {keyword}"
+    if isinstance(expr, ast.FuncCall):
+        distinct = "DISTINCT " if expr.distinct else ""
+        args = comma_join(expr_to_sql(a) for a in expr.args)
+        return f"{expr.name}({distinct}{args})"
+    if isinstance(expr, ast.Exists):
+        return f"EXISTS ({_select_to_sql(expr.query)})"
+    raise DbacError(f"cannot print expression of type {type(expr).__name__}")
+
+
+def _operand(expr: ast.Expr) -> str:
+    """Print a comparison/arithmetic operand, parenthesizing compound ones."""
+    text = expr_to_sql(expr)
+    if isinstance(expr, ast.Arith | ast.BoolOp | ast.Not):
+        return f"({text})"
+    return text
+
+
+def _bool_operand(expr: ast.Expr, context_op: str) -> str:
+    """Print an AND/OR operand; ORs nested under AND/NOT get parentheses."""
+    text = expr_to_sql(expr)
+    if isinstance(expr, ast.BoolOp) and expr.op != context_op:
+        return f"({text})"
+    if context_op == "NOT" and isinstance(expr, _PRECEDENCE_PARENS):
+        return f"({text})"
+    return text

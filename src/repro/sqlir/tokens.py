@@ -1,0 +1,186 @@
+"""Lexer for the dbac SQL dialect.
+
+Produces a flat list of :class:`Token` objects. Keywords are
+case-insensitive and normalized to upper case; identifiers keep their
+original spelling. Parameters come in two forms: positional ``?`` and named
+``?MyUId`` (the paper's view-parameter syntax).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ParseError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "OUTER",
+        "ON",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "IS",
+        "NULL",
+        "TRUE",
+        "FALSE",
+        "ORDER",
+        "BY",
+        "GROUP",
+        "HAVING",
+        "ASC",
+        "DESC",
+        "LIMIT",
+        "AS",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "UPDATE",
+        "SET",
+        "DELETE",
+        "CREATE",
+        "TABLE",
+        "PRIMARY",
+        "KEY",
+        "REFERENCES",
+        "UNIQUE",
+        "INTEGER",
+        "INT",
+        "TEXT",
+        "VARCHAR",
+        "REAL",
+        "FLOAT",
+        "BOOLEAN",
+        "COUNT",
+        "EXISTS",
+        "BETWEEN",
+    }
+)
+
+# Token kinds.
+KEYWORD = "KEYWORD"
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+PARAM = "PARAM"  # value: None for positional, or the name for ?Name
+OP = "OP"
+EOF = "EOF"
+
+_TWO_CHAR_OPS = ("<=", ">=", "<>", "!=")
+_ONE_CHAR_OPS = "=<>+-*/(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: ``kind``, normalized ``value``, source ``pos``."""
+
+    kind: str
+    value: object
+    pos: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == KEYWORD and self.value == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == OP and self.value == op
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Lex ``sql`` into tokens, ending with an EOF token.
+
+    Raises :class:`ParseError` on characters outside the dialect or on an
+    unterminated string literal.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            newline = sql.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            text, i = _lex_string(sql, i)
+            tokens.append(Token(STRING, text, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            value, i = _lex_number(sql, i)
+            tokens.append(Token(NUMBER, value, i))
+            continue
+        if ch == "?":
+            start = i
+            i += 1
+            name_start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            name = sql[name_start:i] or None
+            tokens.append(Token(PARAM, name, start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(KEYWORD, upper, start))
+            else:
+                tokens.append(Token(IDENT, word, start))
+            continue
+        two = sql[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token(OP, "<>" if two == "!=" else two, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token(OP, ch, i))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", position=i, sql=sql)
+    tokens.append(Token(EOF, None, n))
+    return tokens
+
+
+def _lex_string(sql: str, start: int) -> tuple[str, int]:
+    """Lex a single-quoted string starting at ``start``; '' escapes a quote."""
+    i = start + 1
+    parts: list[str] = []
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise ParseError("unterminated string literal", position=start, sql=sql)
+
+
+def _lex_number(sql: str, start: int) -> tuple[int | float, int]:
+    """Lex an integer or decimal number starting at ``start``."""
+    i = start
+    n = len(sql)
+    seen_dot = False
+    while i < n and (sql[i].isdigit() or (sql[i] == "." and not seen_dot)):
+        if sql[i] == ".":
+            # A trailing dot followed by a non-digit belongs to the next token.
+            if i + 1 >= n or not sql[i + 1].isdigit():
+                break
+            seen_dot = True
+        i += 1
+    text = sql[start:i]
+    return (float(text) if seen_dot else int(text)), i

@@ -1,0 +1,21 @@
+"""Shared utilities for the dbac reproduction: errors and text helpers."""
+
+from repro.util.errors import (
+    DbacError,
+    EngineError,
+    IntegrityError,
+    ParseError,
+    PolicyError,
+    TranslationError,
+    UnsupportedSqlError,
+)
+
+__all__ = [
+    "DbacError",
+    "EngineError",
+    "IntegrityError",
+    "ParseError",
+    "PolicyError",
+    "TranslationError",
+    "UnsupportedSqlError",
+]

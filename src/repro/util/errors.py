@@ -1,0 +1,59 @@
+"""Exception hierarchy for the dbac package.
+
+Every error raised by this package derives from :class:`DbacError`, so
+applications embedding the library can catch one type at the boundary.
+The sub-hierarchy mirrors the package layout: parsing, translation to the
+conjunctive-query IR, engine execution, and policy handling each get their
+own class.
+"""
+
+from __future__ import annotations
+
+
+class DbacError(Exception):
+    """Base class for all errors raised by the dbac package."""
+
+
+class ParseError(DbacError):
+    """Raised when SQL text cannot be lexed or parsed.
+
+    Carries the offending position so callers can render a caret under the
+    bad token.
+    """
+
+    def __init__(self, message: str, position: int | None = None, sql: str | None = None):
+        super().__init__(message)
+        self.position = position
+        self.sql = sql
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.position is None or self.sql is None:
+            return base
+        line = self.sql.replace("\n", " ")
+        caret = " " * self.position + "^"
+        return f"{base}\n  {line}\n  {caret}"
+
+
+class UnsupportedSqlError(DbacError):
+    """Raised when SQL parses but uses a feature outside the dialect."""
+
+
+class TranslationError(DbacError):
+    """Raised when a SQL statement cannot be translated to the CQ IR.
+
+    This covers features the engine can execute but the reasoning layer
+    cannot represent (aggregates, LEFT JOIN, arithmetic in predicates).
+    """
+
+
+class EngineError(DbacError):
+    """Raised for execution-time failures in the in-memory engine."""
+
+
+class IntegrityError(EngineError):
+    """Raised when an insert/update/delete violates a schema constraint."""
+
+
+class PolicyError(DbacError):
+    """Raised for malformed policies or policy files."""

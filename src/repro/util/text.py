@@ -1,0 +1,46 @@
+"""Small text helpers shared across modules."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+def sql_quote(value: object) -> str:
+    """Render a Python value as a SQL literal.
+
+    ``None`` becomes ``NULL``, booleans become ``TRUE``/``FALSE``, strings
+    are single-quoted with embedded quotes doubled.
+    """
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)
+
+
+def comma_join(parts: Iterable[str]) -> str:
+    """Join parts with ``", "`` — the separator used throughout SQL output."""
+    return ", ".join(parts)
+
+
+def indent(text: str, prefix: str = "  ") -> str:
+    """Indent every line of ``text`` by ``prefix``."""
+    return "\n".join(prefix + line for line in text.splitlines())
+
+
+def fresh_name_factory(prefix: str):
+    """Return a callable producing ``prefix0``, ``prefix1``, ... on each call."""
+    counter = 0
+
+    def fresh() -> str:
+        nonlocal counter
+        name = f"{prefix}{counter}"
+        counter += 1
+        return name
+
+    return fresh

@@ -1,0 +1,23 @@
+"""Workload applications: the paper's examples as running systems.
+
+Each workload module exposes the same shape (see :class:`WorkloadApp` in
+:mod:`repro.workloads.runner`):
+
+* ``calendar_app`` — the §2.2 / Listing 1 calendar (Example 2.1/3.1);
+* ``hospital`` — the hospital-management system of Example 4.1;
+* ``employees`` — the employee database of Example 4.2;
+* ``social`` — a larger social-network app used for scale experiments.
+"""
+
+from repro.workloads.runner import AppRunner, RequestOutcome, WorkloadApp
+from repro.workloads import calendar_app, employees, hospital, social
+
+__all__ = [
+    "AppRunner",
+    "RequestOutcome",
+    "WorkloadApp",
+    "calendar_app",
+    "employees",
+    "hospital",
+    "social",
+]

@@ -1,0 +1,291 @@
+"""The calendar application — the paper's running example (§2.2, Ex. 2.1/3.1).
+
+Schema: ``Users``, ``Events``, ``Attendance``. The ``show_event`` handler
+is Listing 1 of the paper verbatim; the ground-truth policy contains the
+paper's views V1 and V2, plus the two views the other handlers need.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine import Column, ColumnType, Database, ForeignKey, Schema, TableSchema
+from repro.extract.handlers import (
+    Abort,
+    Assign,
+    FieldRef,
+    ForEach,
+    Handler,
+    If,
+    IsEmpty,
+    ParamRef,
+    Query,
+    Return,
+    SessionRef,
+)
+from repro.policy import Policy, View
+from repro.workloads.datagen import EVENT_TITLES, LOCATIONS, pick_name, rng_of
+from repro.workloads.runner import Request, WorkloadApp
+
+
+def make_schema() -> Schema:
+    return Schema.of(
+        TableSchema(
+            "Users",
+            (
+                Column("UId", ColumnType.INT, nullable=False),
+                Column("Name", ColumnType.TEXT, nullable=False),
+            ),
+            primary_key=("UId",),
+        ),
+        TableSchema(
+            "Events",
+            (
+                Column("EId", ColumnType.INT, nullable=False),
+                Column("Title", ColumnType.TEXT, nullable=False),
+                Column("Time", ColumnType.INT, nullable=False),
+                Column("Loc", ColumnType.TEXT, nullable=False),
+            ),
+            primary_key=("EId",),
+        ),
+        TableSchema(
+            "Attendance",
+            (
+                Column("UId", ColumnType.INT, nullable=False),
+                Column("EId", ColumnType.INT, nullable=False),
+            ),
+            primary_key=("UId", "EId"),
+            foreign_keys=(
+                ForeignKey("UId", "Users", "UId"),
+                ForeignKey("EId", "Events", "EId"),
+            ),
+        ),
+    )
+
+
+def make_database(size: int = 20, seed: int = 7) -> Database:
+    """``size`` users, ``2*size`` events, ~3 attendances per user."""
+    rng = rng_of(seed)
+    db = Database(make_schema())
+    users = [(uid, pick_name(rng, uid - 1)) for uid in range(1, size + 1)]
+    db.insert_rows("Users", users)
+    events = [
+        (
+            eid,
+            rng.choice(EVENT_TITLES),
+            900 + 50 * (eid % 10),
+            rng.choice(LOCATIONS),
+        )
+        for eid in range(1, 2 * size + 1)
+    ]
+    db.insert_rows("Events", events)
+    attendance = set()
+    for uid, _ in users:
+        for _ in range(3):
+            attendance.add((uid, rng.randrange(1, 2 * size + 1)))
+    db.insert_rows("Attendance", sorted(attendance))
+    return db
+
+
+def ground_truth_policy() -> Policy:
+    schema = make_schema()
+    return Policy(
+        [
+            View(
+                "V1",
+                "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+                schema,
+                "each user can see the IDs of events they attend",
+            ),
+            View(
+                "V2",
+                "SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId"
+                " WHERE a.UId = ?MyUId",
+                schema,
+                "each user can see the details of events they attend",
+            ),
+            View(
+                "V3",
+                "SELECT * FROM Users WHERE UId = ?MyUId",
+                schema,
+                "each user can see their own profile",
+            ),
+            View(
+                "V4",
+                "SELECT a.UId, u.Name, a.EId FROM Attendance a"
+                " JOIN Users u ON u.UId = a.UId"
+                " JOIN Attendance mine ON mine.EId = a.EId"
+                " WHERE mine.UId = ?MyUId",
+                schema,
+                "each user can see who attends the events they attend",
+            ),
+        ],
+        name="calendar-ground-truth",
+    )
+
+
+def make_handlers() -> dict[str, Handler]:
+    show_event = Handler(
+        name="show_event",
+        params=("event_id",),
+        body=(
+            Assign(
+                "check",
+                Query(
+                    "SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?",
+                    (SessionRef("user_id"), ParamRef("event_id")),
+                ),
+            ),
+            If(IsEmpty("check"), then=(Abort("event not found"),)),
+            Return(
+                Query(
+                    "SELECT * FROM Events WHERE EId = ?",
+                    (ParamRef("event_id"),),
+                )
+            ),
+        ),
+    )
+    my_events = Handler(
+        name="my_events",
+        params=(),
+        body=(
+            Assign(
+                "mine",
+                Query(
+                    "SELECT EId FROM Attendance WHERE UId = ?",
+                    (SessionRef("user_id"),),
+                ),
+            ),
+            ForEach(
+                "row",
+                "mine",
+                body=(
+                    Assign(
+                        "detail",
+                        Query(
+                            "SELECT * FROM Events WHERE EId = ?",
+                            (FieldRef("row", "EId"),),
+                        ),
+                    ),
+                ),
+            ),
+            Return(None),
+        ),
+    )
+    event_attendees = Handler(
+        name="event_attendees",
+        params=("event_id",),
+        body=(
+            Assign(
+                "check",
+                Query(
+                    "SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?",
+                    (SessionRef("user_id"), ParamRef("event_id")),
+                ),
+            ),
+            If(IsEmpty("check"), then=(Abort("event not found"),)),
+            Return(
+                Query(
+                    "SELECT u.UId, u.Name FROM Attendance a"
+                    " JOIN Users u ON u.UId = a.UId WHERE a.EId = ?",
+                    (ParamRef("event_id"),),
+                )
+            ),
+        ),
+    )
+    my_profile = Handler(
+        name="my_profile",
+        params=(),
+        body=(
+            Return(
+                Query(
+                    "SELECT * FROM Users WHERE UId = ?",
+                    (SessionRef("user_id"),),
+                )
+            ),
+        ),
+    )
+    return {
+        handler.name: handler
+        for handler in (show_event, my_events, event_attendees, my_profile)
+    }
+
+
+def request_stream(db: Database, rng: random.Random, n: int) -> list[Request]:
+    """A compliant request mix over the current database contents."""
+    users = [row[0] for row in db.query("SELECT UId FROM Users").rows]
+    attendance = db.query("SELECT UId, EId FROM Attendance").rows
+    attended: dict[object, list] = {}
+    for uid, eid in attendance:
+        attended.setdefault(uid, []).append(eid)
+    requests: list[Request] = []
+    for _ in range(n):
+        uid = rng.choice(users)
+        session = {"user_id": uid}
+        kind = rng.random()
+        my_eids = attended.get(uid, [])
+        if kind < 0.45 and my_eids:
+            requests.append(
+                Request("show_event", {"event_id": rng.choice(my_eids)}, session)
+            )
+        elif kind < 0.60:
+            # A 404 path: an event the user (probably) does not attend.
+            eid = rng.randrange(1, 2 * len(users) + 1)
+            requests.append(Request("show_event", {"event_id": eid}, session))
+        elif kind < 0.80:
+            requests.append(Request("my_events", {}, session))
+        elif kind < 0.90 and my_eids:
+            requests.append(
+                Request("event_attendees", {"event_id": rng.choice(my_eids)}, session)
+            )
+        else:
+            requests.append(Request("my_profile", {}, session))
+    return requests
+
+
+def attack_queries(db: Database, user_id: object) -> list[tuple[str, list]]:
+    """Non-compliant probes the proxy must block for ``user_id``."""
+    other = (user_id % db.row_count("Users")) + 1 if isinstance(user_id, int) else 1
+    unattended = _unattended_event(db, user_id)
+    probes = [
+        ("SELECT * FROM Events", []),
+        ("SELECT Name FROM Users", []),
+        ("SELECT EId FROM Attendance WHERE UId = ?", [other]),
+        ("SELECT UId, EId FROM Attendance", []),
+    ]
+    if unattended is not None:
+        probes.append(("SELECT * FROM Events WHERE EId = ?", [unattended]))
+    return probes
+
+
+def _unattended_event(db: Database, user_id: object) -> object | None:
+    attended = {
+        row[0]
+        for row in db.query(
+            "SELECT EId FROM Attendance WHERE UId = ?", [user_id]
+        ).rows
+    }
+    for (eid,) in db.query("SELECT EId FROM Events").rows:
+        if eid not in attended:
+            return eid
+    return None
+
+
+def make_app() -> WorkloadApp:
+    return WorkloadApp(
+        name="calendar",
+        make_database=make_database,
+        handlers=make_handlers(),
+        ground_truth_policy=ground_truth_policy,
+        request_stream=request_stream,
+        attack_queries=attack_queries,
+        rls_predicates={
+            "Attendance": "{T}.UId = ?MyUId",
+            "Users": "{T}.UId = ?MyUId",
+            "Events": (
+                "EXISTS (SELECT 1 FROM Attendance rls"
+                " WHERE rls.EId = {T}.EId AND rls.UId = ?MyUId)"
+            ),
+        },
+        default_size=20,
+    )

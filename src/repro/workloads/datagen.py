@@ -1,0 +1,46 @@
+"""Deterministic synthetic data generation for the workload apps.
+
+Every generator takes an explicit :class:`random.Random` (or seed), so
+experiments are reproducible run-to-run. Scale is controlled by a single
+``size`` knob per app (roughly: the number of primary entities).
+"""
+
+from __future__ import annotations
+
+import random
+
+FIRST_NAMES = [
+    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+    "ivan", "judy", "mallory", "niaj", "olivia", "peggy", "rupert", "sybil",
+    "trent", "victor", "walter", "yolanda",
+]
+
+EVENT_TITLES = [
+    "standup", "retro", "planning", "design review", "1:1", "all hands",
+    "interview", "reading group", "demo", "onboarding",
+]
+
+LOCATIONS = ["room1", "room2", "room3", "cafe", "online"]
+
+DISEASES = [
+    "pneumonia", "tuberculosis", "influenza", "asthma", "diabetes",
+    "hypertension", "migraine", "anemia", "arthritis", "bronchitis",
+]
+
+DEPARTMENTS = ["eng", "ops", "sales", "hr", "finance"]
+
+ZIPS = ["02139", "02140", "02141", "94703", "94704", "94705", "10001", "10002"]
+
+
+def rng_of(seed: int | random.Random) -> random.Random:
+    """Coerce a seed or Random into a Random."""
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def pick_name(rng: random.Random, index: int) -> str:
+    base = FIRST_NAMES[index % len(FIRST_NAMES)]
+    if index < len(FIRST_NAMES):
+        return base
+    return f"{base}{index // len(FIRST_NAMES)}"

@@ -1,0 +1,201 @@
+"""The employee database of Example 4.2 (plus a k-anonymity release).
+
+Example 4.2's two queries live here::
+
+    Q1: SELECT name FROM Employees WHERE age >= 60
+    Q2: SELECT name FROM Employees WHERE age >= 18
+
+Taking V = {Q1} and S = Q2 yields PQI (revealing seniors makes them
+certain adults); taking V = {Q2} and S = Q1 yields NQI (not being listed
+as an adult rules out being a senior).
+
+The table also carries quasi-identifier columns (Age, ZIP, Dept) used by
+the k-anonymity experiment, with Salary as the sensitive attribute.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine import Column, ColumnType, Database, Schema, TableSchema
+from repro.extract.handlers import (
+    Abort,
+    Assign,
+    Handler,
+    If,
+    IsEmpty,
+    ParamRef,
+    Query,
+    Return,
+    SessionRef,
+)
+from repro.policy import Policy, View
+from repro.workloads.datagen import DEPARTMENTS, ZIPS, pick_name, rng_of
+from repro.workloads.runner import Request, WorkloadApp
+
+Q1_SQL = "SELECT Name FROM Employees WHERE Age >= 60"
+Q2_SQL = "SELECT Name FROM Employees WHERE Age >= 18"
+
+
+def make_schema() -> Schema:
+    return Schema.of(
+        TableSchema(
+            "Employees",
+            (
+                Column("EId", ColumnType.INT, nullable=False),
+                Column("Name", ColumnType.TEXT, nullable=False),
+                Column("Age", ColumnType.INT, nullable=False),
+                Column("Dept", ColumnType.TEXT, nullable=False),
+                Column("ZIP", ColumnType.TEXT, nullable=False),
+                Column("Salary", ColumnType.INT, nullable=False),
+            ),
+            primary_key=("EId",),
+        ),
+    )
+
+
+def make_database(size: int = 40, seed: int = 13) -> Database:
+    rng = rng_of(seed)
+    db = Database(make_schema())
+    rows = []
+    for eid in range(1, size + 1):
+        age = rng.randrange(18, 70)
+        rows.append(
+            (
+                eid,
+                pick_name(rng, eid - 1),
+                age,
+                rng.choice(DEPARTMENTS),
+                rng.choice(ZIPS),
+                40_000 + 1_000 * rng.randrange(0, 120),
+            )
+        )
+    # Guarantee at least two seniors so Q1 is non-trivial.
+    rows[0] = (rows[0][0], rows[0][1], 63, rows[0][3], rows[0][4], rows[0][5])
+    rows[1] = (rows[1][0], rows[1][1], 66, rows[1][3], rows[1][4], rows[1][5])
+    db.insert_rows("Employees", rows)
+    return db
+
+
+def ground_truth_policy() -> Policy:
+    schema = make_schema()
+    return Policy(
+        [
+            View(
+                "Vdir",
+                "SELECT EId, Name, Dept FROM Employees",
+                schema,
+                "the company directory: name and department of everyone",
+            ),
+            View(
+                "Vself",
+                "SELECT * FROM Employees WHERE EId = ?MyUId",
+                schema,
+                "each employee can see their own full record",
+            ),
+            View(
+                "Vseniors",
+                Q1_SQL,
+                schema,
+                "names of employees aged 60+ (retirement planning report)",
+            ),
+        ],
+        name="employees",
+    )
+
+
+def make_handlers() -> dict[str, Handler]:
+    directory = Handler(
+        name="directory",
+        params=(),
+        body=(Return(Query("SELECT EId, Name, Dept FROM Employees")),),
+    )
+    my_record = Handler(
+        name="my_record",
+        params=(),
+        body=(
+            Assign(
+                "me",
+                Query(
+                    "SELECT * FROM Employees WHERE EId = ?",
+                    (SessionRef("user_id"),),
+                ),
+            ),
+            If(IsEmpty("me"), then=(Abort("no record"),)),
+            Return(
+                Query(
+                    "SELECT * FROM Employees WHERE EId = ?",
+                    (SessionRef("user_id"),),
+                )
+            ),
+        ),
+    )
+    seniors = Handler(
+        name="seniors",
+        params=(),
+        body=(Return(Query(Q1_SQL)),),
+    )
+    dept_directory = Handler(
+        name="dept_directory",
+        params=("dept",),
+        body=(
+            Return(
+                Query(
+                    "SELECT EId, Name, Dept FROM Employees WHERE Dept = ?",
+                    (ParamRef("dept"),),
+                )
+            ),
+        ),
+    )
+    return {
+        handler.name: handler
+        for handler in (directory, my_record, seniors, dept_directory)
+    }
+
+
+def request_stream(db: Database, rng: random.Random, n: int) -> list[Request]:
+    employee_ids = [row[0] for row in db.query("SELECT EId FROM Employees").rows]
+    requests = []
+    for _ in range(n):
+        uid = rng.choice(employee_ids)
+        session = {"user_id": uid}
+        kind = rng.random()
+        if kind < 0.35:
+            requests.append(Request("directory", {}, session))
+        elif kind < 0.6:
+            requests.append(Request("my_record", {}, session))
+        elif kind < 0.8:
+            requests.append(Request("seniors", {}, session))
+        else:
+            requests.append(
+                Request("dept_directory", {"dept": rng.choice(DEPARTMENTS)}, session)
+            )
+    return requests
+
+
+def attack_queries(db: Database, user_id: object) -> list[tuple[str, list]]:
+    other = 1 if user_id != 1 else 2
+    return [
+        ("SELECT Name, Salary FROM Employees", []),
+        ("SELECT Salary FROM Employees WHERE EId = ?", [other]),
+        ("SELECT Name, Age FROM Employees", []),
+        ("SELECT Name FROM Employees WHERE Age >= 40", []),
+    ]
+
+
+def quasi_identifiers() -> tuple[str, ...]:
+    """The quasi-identifier columns used by the k-anonymity experiment."""
+    return ("Age", "Dept", "ZIP")
+
+
+def make_app() -> WorkloadApp:
+    return WorkloadApp(
+        name="employees",
+        make_database=make_database,
+        handlers=make_handlers(),
+        ground_truth_policy=ground_truth_policy,
+        request_stream=request_stream,
+        attack_queries=attack_queries,
+        rls_predicates={"Employees": "{T}.EId = ?MyUId"},
+        default_size=40,
+    )

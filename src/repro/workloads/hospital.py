@@ -1,0 +1,245 @@
+"""The hospital-management system of Example 4.1.
+
+The staff policy reveals (1) the doctor assigned to each patient and
+(2) the diseases treated by each doctor; the disease each patient is
+treated for is sensitive. The data generator maintains the invariant that
+drives the example's inference: a patient's condition is always one of
+their doctor's diseases — so revealing the two allowed views narrows a
+patient's disease down to the doctor's specialty list (for John's doctor,
+exactly two diseases).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine import Column, ColumnType, Database, ForeignKey, Schema, TableSchema
+from repro.extract.handlers import (
+    Abort,
+    Assign,
+    FieldRef,
+    Handler,
+    If,
+    IsEmpty,
+    ParamRef,
+    Query,
+    Return,
+)
+from repro.policy import Policy, View
+from repro.workloads.datagen import DISEASES, pick_name, rng_of
+from repro.workloads.runner import Request, WorkloadApp
+
+#: The patient the paper's example centers on (John, treated by a doctor
+#: who treats exactly two diseases).
+JOHN_PID = 1
+JOHN_DOCTOR = 1
+JOHN_DOCTOR_DISEASES = ("pneumonia", "tuberculosis")
+
+
+def make_schema() -> Schema:
+    return Schema.of(
+        TableSchema(
+            "Doctors",
+            (
+                Column("DId", ColumnType.INT, nullable=False),
+                Column("Name", ColumnType.TEXT, nullable=False),
+            ),
+            primary_key=("DId",),
+        ),
+        TableSchema(
+            "Patients",
+            (
+                Column("PId", ColumnType.INT, nullable=False),
+                Column("Name", ColumnType.TEXT, nullable=False),
+                Column("DId", ColumnType.INT, nullable=False),
+            ),
+            primary_key=("PId",),
+            foreign_keys=(ForeignKey("DId", "Doctors", "DId"),),
+        ),
+        TableSchema(
+            "DoctorDiseases",
+            (
+                Column("DId", ColumnType.INT, nullable=False),
+                Column("Disease", ColumnType.TEXT, nullable=False),
+            ),
+            primary_key=("DId", "Disease"),
+            foreign_keys=(ForeignKey("DId", "Doctors", "DId"),),
+        ),
+        TableSchema(
+            "PatientConditions",
+            (
+                Column("PId", ColumnType.INT, nullable=False),
+                Column("Disease", ColumnType.TEXT, nullable=False),
+            ),
+            primary_key=("PId", "Disease"),
+            foreign_keys=(ForeignKey("PId", "Patients", "PId"),),
+        ),
+    )
+
+
+def make_database(size: int = 20, seed: int = 11) -> Database:
+    """``size`` patients, ``max(2, size // 4)`` doctors.
+
+    Doctor #1 treats exactly the two diseases of the paper's example, and
+    patient #1 ("john") is assigned to them.
+    """
+    rng = rng_of(seed)
+    db = Database(make_schema())
+    n_doctors = max(2, size // 4)
+    doctors = [(did, f"dr_{pick_name(rng, did - 1)}") for did in range(1, n_doctors + 1)]
+    db.insert_rows("Doctors", doctors)
+
+    specialties: dict[int, list[str]] = {JOHN_DOCTOR: list(JOHN_DOCTOR_DISEASES)}
+    for did in range(2, n_doctors + 1):
+        count = rng.randrange(2, 5)
+        specialties[did] = sorted(rng.sample(DISEASES, count))
+    rows = [
+        (did, disease)
+        for did, diseases in sorted(specialties.items())
+        for disease in diseases
+    ]
+    db.insert_rows("DoctorDiseases", rows)
+
+    patients = []
+    conditions = []
+    for pid in range(1, size + 1):
+        if pid == JOHN_PID:
+            name, did = "john", JOHN_DOCTOR
+        else:
+            name = pick_name(rng, pid + 3)
+            did = rng.randrange(1, n_doctors + 1)
+        patients.append((pid, name, did))
+        conditions.append((pid, rng.choice(specialties[did])))
+    db.insert_rows("Patients", patients)
+    db.insert_rows("PatientConditions", conditions)
+    return db
+
+
+def ground_truth_policy() -> Policy:
+    schema = make_schema()
+    return Policy(
+        [
+            View(
+                "VP",
+                "SELECT PId, Name, DId FROM Patients",
+                schema,
+                "staff can see the doctor assigned to each patient",
+            ),
+            View(
+                "VD",
+                "SELECT DId, Name FROM Doctors",
+                schema,
+                "staff can see the roster of doctors",
+            ),
+            View(
+                "VT",
+                "SELECT DId, Disease FROM DoctorDiseases",
+                schema,
+                "staff can see the diseases treated by each doctor",
+            ),
+        ],
+        name="hospital-staff",
+    )
+
+
+def sensitive_query_sql() -> str:
+    """The sensitive query S of Example 4.1: a patient's disease."""
+    return "SELECT Disease FROM PatientConditions WHERE PId = ?PatientId"
+
+
+def make_handlers() -> dict[str, Handler]:
+    view_patient = Handler(
+        name="view_patient",
+        params=("patient_id",),
+        body=(
+            Assign(
+                "patient",
+                Query(
+                    "SELECT PId, Name, DId FROM Patients WHERE PId = ?",
+                    (ParamRef("patient_id"),),
+                ),
+            ),
+            If(IsEmpty("patient"), then=(Abort("no such patient"),)),
+            Return(
+                Query(
+                    "SELECT DId, Name FROM Doctors WHERE DId = ?",
+                    (FieldRef("patient", "DId"),),
+                )
+            ),
+        ),
+    )
+    doctor_specialties = Handler(
+        name="doctor_specialties",
+        params=("doctor_id",),
+        body=(
+            Return(
+                Query(
+                    "SELECT Disease FROM DoctorDiseases WHERE DId = ?",
+                    (ParamRef("doctor_id"),),
+                )
+            ),
+        ),
+    )
+    list_patients = Handler(
+        name="list_patients",
+        params=(),
+        body=(Return(Query("SELECT PId, Name, DId FROM Patients")),),
+    )
+    list_doctors = Handler(
+        name="list_doctors",
+        params=(),
+        body=(Return(Query("SELECT DId, Name FROM Doctors")),),
+    )
+    return {
+        handler.name: handler
+        for handler in (view_patient, doctor_specialties, list_patients, list_doctors)
+    }
+
+
+def request_stream(db: Database, rng: random.Random, n: int) -> list[Request]:
+    patients = [row[0] for row in db.query("SELECT PId FROM Patients").rows]
+    doctors = [row[0] for row in db.query("SELECT DId FROM Doctors").rows]
+    requests = []
+    for index in range(n):
+        session = {"user_id": 1000 + (index % 5)}  # staff accounts
+        kind = rng.random()
+        if kind < 0.5:
+            requests.append(
+                Request("view_patient", {"patient_id": rng.choice(patients)}, session)
+            )
+        elif kind < 0.75:
+            requests.append(
+                Request(
+                    "doctor_specialties", {"doctor_id": rng.choice(doctors)}, session
+                )
+            )
+        elif kind < 0.9:
+            requests.append(Request("list_patients", {}, session))
+        else:
+            requests.append(Request("list_doctors", {}, session))
+    return requests
+
+
+def attack_queries(db: Database, user_id: object) -> list[tuple[str, list]]:
+    return [
+        ("SELECT Disease FROM PatientConditions WHERE PId = ?", [JOHN_PID]),
+        ("SELECT PId, Disease FROM PatientConditions", []),
+        (
+            "SELECT p.Name, c.Disease FROM Patients p"
+            " JOIN PatientConditions c ON c.PId = p.PId",
+            [],
+        ),
+    ]
+
+
+def make_app() -> WorkloadApp:
+    return WorkloadApp(
+        name="hospital",
+        make_database=make_database,
+        handlers=make_handlers(),
+        ground_truth_policy=ground_truth_policy,
+        request_stream=request_stream,
+        attack_queries=attack_queries,
+        rls_predicates={},  # the staff policy is not row-restricted
+        default_size=20,
+    )

@@ -1,0 +1,145 @@
+"""The workload harness: apps, requests, and ways to run them.
+
+A :class:`WorkloadApp` bundles everything experiments need about one
+application: schema, data generator, DSL handlers, the hand-written
+ground-truth policy, RLS predicates for the query-modification baseline,
+and generators for compliant request streams and non-compliant "attack"
+queries.
+
+:class:`AppRunner` executes request streams against a connection mode
+(direct / enforcement proxy / RLS), reusing one proxy per session user so
+trace history accumulates the way it would in a real deployment.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.enforce.cache import DecisionCache
+from repro.enforce.decision import PolicyViolation
+from repro.enforce.proxy import EnforcementProxy, Session
+from repro.enforce.baselines import DirectConnection, RowLevelSecurityProxy
+from repro.engine.database import Database
+from repro.extract.handlers import Handler, HandlerOutcome, run_handler
+from repro.policy.policy import Policy
+
+
+@dataclass(frozen=True)
+class Request:
+    """One application request: a handler invocation for a session."""
+
+    handler: str
+    params: dict[str, object]
+    session: dict[str, object]
+
+    def __hash__(self) -> int:  # params/session are small plain dicts
+        return hash(
+            (
+                self.handler,
+                tuple(sorted(self.params.items())),
+                tuple(sorted(self.session.items())),
+            )
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadApp:
+    """Everything the experiments need to know about one application."""
+
+    name: str
+    make_database: Callable[[int, int], Database]
+    handlers: dict[str, Handler]
+    ground_truth_policy: Callable[[], Policy]
+    request_stream: Callable[[Database, random.Random, int], list[Request]]
+    attack_queries: Callable[[Database, object], list[tuple[str, list]]]
+    rls_predicates: dict[str, str] = field(default_factory=dict)
+    session_params: dict[str, str] = field(default_factory=lambda: {"user_id": "MyUId"})
+    default_size: int = 20
+
+    def session_bindings(self, session: dict[str, object]) -> dict[str, object]:
+        """Map a handler session dict to policy parameter bindings."""
+        return {
+            param: session[attr]
+            for attr, param in self.session_params.items()
+            if attr in session
+        }
+
+
+@dataclass
+class RequestOutcome:
+    """The result of running one request through the harness."""
+
+    request: Request
+    outcome: HandlerOutcome | None
+    blocked: bool = False
+    block_reason: str = ""
+
+
+class AppRunner:
+    """Runs request streams against an app in a chosen connection mode."""
+
+    def __init__(
+        self,
+        app: WorkloadApp,
+        db: Database,
+        mode: str = "direct",
+        policy: Policy | None = None,
+        history_enabled: bool = True,
+        cache: DecisionCache | None = None,
+        fresh_session_per_request: bool = False,
+    ):
+        if mode not in ("direct", "proxy", "rls"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if mode in ("proxy",) and policy is None:
+            raise ValueError("proxy mode needs a policy")
+        self.app = app
+        self.db = db
+        self.mode = mode
+        self.policy = policy
+        self.history_enabled = history_enabled
+        self.cache = cache
+        self.fresh_session_per_request = fresh_session_per_request
+        self._proxies: dict[tuple, EnforcementProxy] = {}
+        self._direct = DirectConnection(db)
+
+    def connection_for(self, session: dict[str, object]):
+        if self.mode == "direct":
+            return self._direct
+        bindings = self.app.session_bindings(session)
+        if self.mode == "rls":
+            return RowLevelSecurityProxy(self.db, self.app.rls_predicates, bindings)
+        key = tuple(sorted(bindings.items()))
+        if self.fresh_session_per_request or key not in self._proxies:
+            proxy = EnforcementProxy(
+                self.db,
+                self.policy,
+                Session(bindings),
+                history_enabled=self.history_enabled,
+                cache=self.cache,
+            )
+            if self.fresh_session_per_request:
+                return proxy
+            self._proxies[key] = proxy
+        return self._proxies[key]
+
+    def proxies(self) -> list[EnforcementProxy]:
+        return list(self._proxies.values())
+
+    def run(self, request: Request) -> RequestOutcome:
+        handler = self.app.handlers[request.handler]
+        connection = self.connection_for(request.session)
+        try:
+            outcome = run_handler(handler, connection, request.params, request.session)
+        except PolicyViolation as violation:
+            return RequestOutcome(
+                request=request,
+                outcome=None,
+                blocked=True,
+                block_reason=str(violation),
+            )
+        return RequestOutcome(request=request, outcome=outcome)
+
+    def run_all(self, requests: Sequence[Request]) -> list[RequestOutcome]:
+        return [self.run(request) for request in requests]

@@ -1,0 +1,95 @@
+"""Shared fixtures: schemas, databases, and policies used across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Column, ColumnType, Database, ForeignKey, Schema, TableSchema
+from repro.relalg.translate import DictSchema
+from repro.workloads import calendar_app, employees, hospital, social
+
+
+@pytest.fixture
+def calendar_schema() -> Schema:
+    return calendar_app.make_schema()
+
+
+@pytest.fixture
+def calendar_db() -> Database:
+    return calendar_app.make_database(size=10, seed=3)
+
+
+@pytest.fixture
+def calendar_policy():
+    return calendar_app.ground_truth_policy()
+
+
+@pytest.fixture
+def hospital_db() -> Database:
+    return hospital.make_database(size=16, seed=11)
+
+
+@pytest.fixture
+def employees_db() -> Database:
+    return employees.make_database(size=30, seed=13)
+
+
+@pytest.fixture
+def social_db() -> Database:
+    return social.make_database(size=12, seed=17)
+
+
+@pytest.fixture
+def dict_schema() -> DictSchema:
+    """A plain two-table schema for relalg unit tests."""
+    return DictSchema(
+        {
+            "R": ["a", "b"],
+            "S": ["b", "c"],
+            "T": ["x"],
+            "Events": ["EId", "Title", "Time", "Loc"],
+            "Attendance": ["UId", "EId"],
+            "Employees": ["EId", "Name", "Age", "Dept", "ZIP", "Salary"],
+        }
+    )
+
+
+@pytest.fixture
+def tiny_db() -> Database:
+    """A small generic database for engine tests."""
+    schema = Schema.of(
+        TableSchema(
+            "Users",
+            (
+                Column("UId", ColumnType.INT, nullable=False),
+                Column("Name", ColumnType.TEXT, nullable=False),
+                Column("Age", ColumnType.INT),
+            ),
+            primary_key=("UId",),
+        ),
+        TableSchema(
+            "Orders",
+            (
+                Column("OId", ColumnType.INT, nullable=False),
+                Column("UId", ColumnType.INT, nullable=False),
+                Column("Total", ColumnType.REAL),
+                Column("Note", ColumnType.TEXT),
+            ),
+            primary_key=("OId",),
+            foreign_keys=(ForeignKey("UId", "Users", "UId"),),
+        ),
+    )
+    db = Database(schema)
+    db.insert_rows(
+        "Users",
+        [(1, "alice", 34), (2, "bob", 28), (3, "carol", None)],
+    )
+    db.insert_rows(
+        "Orders",
+        [
+            (10, 1, 99.5, "gift"),
+            (11, 1, 10.0, None),
+            (12, 2, 55.25, "rush"),
+        ],
+    )
+    return db

@@ -1,0 +1,73 @@
+"""Baseline-connection tests: direct and RLS query modification."""
+
+import pytest
+
+from repro.enforce.baselines import DirectConnection, RowLevelSecurityProxy
+from repro.util.errors import PolicyError
+
+
+class TestDirect:
+    def test_direct_passthrough(self, calendar_db):
+        direct = DirectConnection(calendar_db)
+        assert direct.query("SELECT COUNT(*) FROM Events").scalar() == \
+            calendar_db.query("SELECT COUNT(*) FROM Events").scalar()
+
+
+class TestRls:
+    def test_row_predicate_applied(self, calendar_db):
+        rls = RowLevelSecurityProxy(
+            calendar_db, {"Attendance": "{T}.UId = ?MyUId"}, {"MyUId": 1}
+        )
+        rows = rls.query("SELECT UId, EId FROM Attendance").rows
+        assert rows
+        assert all(uid == 1 for uid, _ in rows)
+
+    def test_unrestricted_table_unchanged(self, calendar_db):
+        rls = RowLevelSecurityProxy(
+            calendar_db, {"Attendance": "{T}.UId = ?MyUId"}, {"MyUId": 1}
+        )
+        assert len(rls.query("SELECT * FROM Events")) == calendar_db.row_count("Events")
+
+    def test_predicate_composes_with_query_where(self, calendar_db):
+        rls = RowLevelSecurityProxy(
+            calendar_db, {"Attendance": "{T}.UId = ?MyUId"}, {"MyUId": 1}
+        )
+        my_events = {r[0] for r in calendar_db.query(
+            "SELECT EId FROM Attendance WHERE UId = 1").rows}
+        some = next(iter(my_events))
+        rows = rls.query("SELECT EId FROM Attendance WHERE EId = ?", [some]).rows
+        assert rows == [(some,)]
+
+    def test_truman_silent_filtering(self, calendar_db):
+        # The defining trait the paper contrasts with Blockaid: the query
+        # is modified, not blocked — asking for user 9's rows as user 1
+        # silently returns nothing.
+        rls = RowLevelSecurityProxy(
+            calendar_db, {"Attendance": "{T}.UId = ?MyUId"}, {"MyUId": 1}
+        )
+        assert rls.query("SELECT EId FROM Attendance WHERE UId = 9").is_empty()
+
+    def test_alias_substitution_in_joins(self, calendar_db):
+        rls = RowLevelSecurityProxy(
+            calendar_db, {"Attendance": "{T}.UId = ?MyUId"}, {"MyUId": 1}
+        )
+        rows = rls.query(
+            "SELECT e.Title FROM Events e JOIN Attendance a ON e.EId = a.EId"
+        ).rows
+        expected = calendar_db.query(
+            "SELECT e.Title FROM Events e JOIN Attendance a ON e.EId = a.EId"
+            " WHERE a.UId = 1"
+        ).rows
+        assert sorted(rows) == sorted(expected)
+
+    def test_unknown_table_predicate_rejected(self, calendar_db):
+        with pytest.raises(PolicyError):
+            RowLevelSecurityProxy(calendar_db, {"Nope": "{T}.x = 1"}, {})
+
+    def test_writes_pass_through(self, calendar_db):
+        rls = RowLevelSecurityProxy(
+            calendar_db, {"Attendance": "{T}.UId = ?MyUId"}, {"MyUId": 1}
+        )
+        before = calendar_db.row_count("Events")
+        rls.sql("INSERT INTO Events VALUES (777, 'x', 1, 'y')")
+        assert calendar_db.row_count("Events") == before + 1

@@ -1,0 +1,101 @@
+"""Enforcement-proxy tests: the application-facing behavior."""
+
+import pytest
+
+from repro.enforce import (
+    DecisionCache,
+    EnforcementProxy,
+    PolicyViolation,
+    Session,
+)
+
+
+@pytest.fixture
+def proxy(calendar_db, calendar_policy):
+    return EnforcementProxy(calendar_db, calendar_policy, Session.for_user(1))
+
+
+def attending_pair(calendar_db):
+    row = calendar_db.query("SELECT UId, EId FROM Attendance").first()
+    return row
+
+
+class TestFlow:
+    def test_example_2_1_flow(self, calendar_db, calendar_policy):
+        uid, eid = attending_pair(calendar_db)
+        proxy = EnforcementProxy(calendar_db, calendar_policy, Session.for_user(uid))
+        check = proxy.query(
+            "SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", [uid, eid]
+        )
+        assert not check.is_empty()
+        detail = proxy.query("SELECT * FROM Events WHERE EId = ?", [eid])
+        assert len(detail) == 1
+        assert proxy.stats.allowed == 2
+        assert proxy.stats.blocked == 0
+
+    def test_block_raises_with_decision(self, proxy):
+        with pytest.raises(PolicyViolation) as err:
+            proxy.query("SELECT * FROM Events")
+        assert not err.value.decision.allowed
+        assert proxy.stats.blocked == 1
+
+    def test_never_modifies_queries(self, calendar_db, calendar_policy):
+        # First trait of §2.2: executed as-is — results match a direct run.
+        uid, eid = attending_pair(calendar_db)
+        proxy = EnforcementProxy(calendar_db, calendar_policy, Session.for_user(uid))
+        direct = calendar_db.query("SELECT EId FROM Attendance WHERE UId = ?", [uid])
+        proxied = proxy.query("SELECT EId FROM Attendance WHERE UId = ?", [uid])
+        assert proxied.rows == direct.rows
+
+    def test_writes_pass_through(self, proxy, calendar_db):
+        before = calendar_db.row_count("Events")
+        proxy.sql("INSERT INTO Events VALUES (999, 'new', 900, 'room1')")
+        assert calendar_db.row_count("Events") == before + 1
+
+    def test_trace_accumulates(self, calendar_db, calendar_policy):
+        uid, eid = attending_pair(calendar_db)
+        proxy = EnforcementProxy(calendar_db, calendar_policy, Session.for_user(uid))
+        proxy.query("SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", [uid, eid])
+        assert len(proxy.trace) == 1
+        assert proxy.trace.facts
+
+    def test_session_isolation(self, calendar_db, calendar_policy):
+        uid, eid = attending_pair(calendar_db)
+        mine = EnforcementProxy(calendar_db, calendar_policy, Session.for_user(uid))
+        other_uid = uid + 1
+        other = EnforcementProxy(
+            calendar_db, calendar_policy, Session.for_user(other_uid)
+        )
+        mine.query("SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", [uid, eid])
+        # The other session has no history; the detail fetch must block
+        # unless that user also attends the event.
+        attends = not calendar_db.query(
+            "SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", [other_uid, eid]
+        ).is_empty()
+        if not attends:
+            with pytest.raises(PolicyViolation):
+                other.query("SELECT * FROM Events WHERE EId = ?", [eid])
+
+
+class TestCacheIntegration:
+    def test_cache_hit_on_repeat(self, calendar_db, calendar_policy):
+        uid, eid = attending_pair(calendar_db)
+        cache = DecisionCache(calendar_policy)
+        proxy = EnforcementProxy(
+            calendar_db, calendar_policy, Session.for_user(uid), cache=cache
+        )
+        proxy.query("SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", [uid, eid])
+        proxy.query("SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", [uid, eid])
+        assert proxy.stats.cache_hits == 1
+
+    def test_cache_shared_across_sessions(self, calendar_db, calendar_policy):
+        cache = DecisionCache(calendar_policy)
+        pairs = calendar_db.query("SELECT UId, EId FROM Attendance").rows[:2]
+        for uid, eid in pairs:
+            proxy = EnforcementProxy(
+                calendar_db, calendar_policy, Session.for_user(uid), cache=cache
+            )
+            proxy.query(
+                "SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", [uid, eid]
+            )
+        assert cache.hits >= 1

@@ -1,0 +1,90 @@
+"""Trace and fact-extraction tests."""
+
+from repro.enforce.trace import Trace, is_labeled_null
+from repro.engine.executor import Result
+from repro.relalg.cq import Const
+from repro.relalg.translate import translate_select
+from repro.sqlir.parser import parse_select
+
+
+def tr1(sql, schema):
+    return translate_select(parse_select(sql), schema).disjuncts[0]
+
+
+class TestFactExtraction:
+    def test_ground_fact_from_constant_query(self, calendar_schema):
+        # Q1 of Example 2.1: all arguments pinned by comparisons.
+        trace = Trace()
+        query = tr1(
+            "SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2", calendar_schema
+        )
+        trace.record("q1", query, Result(columns=["c"], rows=[(1,)]))
+        assert trace.facts == (
+            type(trace.facts[0])("Attendance", (Const(1), Const(2))),
+        )
+
+    def test_head_binding_creates_fact_per_row(self, calendar_schema):
+        trace = Trace()
+        query = tr1("SELECT EId FROM Attendance WHERE UId = 1", calendar_schema)
+        trace.record("q", query, Result(columns=["EId"], rows=[(5,), (6,)]))
+        values = sorted(fact.args[1].value for fact in trace.facts)
+        assert values == [5, 6]
+        assert all(fact.args[0] == Const(1) for fact in trace.facts)
+
+    def test_undetermined_column_becomes_labeled_null(self, calendar_schema):
+        trace = Trace()
+        query = tr1("SELECT Title FROM Events WHERE EId = 3", calendar_schema)
+        trace.record("q", query, Result(columns=["Title"], rows=[("standup",)]))
+        fact = trace.facts[0]
+        assert fact.rel == "Events"
+        assert fact.args[0] == Const(3)
+        assert fact.args[1] == Const("standup")
+        assert is_labeled_null(fact.args[2])  # Time
+        assert is_labeled_null(fact.args[3])  # Loc
+
+    def test_joined_variables_share_null(self, calendar_schema):
+        trace = Trace()
+        query = tr1(
+            "SELECT a.UId FROM Events e JOIN Attendance a ON e.EId = a.EId"
+            " WHERE a.UId = 1",
+            calendar_schema,
+        )
+        trace.record("q", query, Result(columns=["UId"], rows=[(1,)]))
+        events_fact = next(f for f in trace.facts if f.rel == "Events")
+        attendance_fact = next(f for f in trace.facts if f.rel == "Attendance")
+        # The join column carries the same labeled null in both facts.
+        assert events_fact.args[0] == attendance_fact.args[1]
+
+    def test_empty_result_produces_no_facts(self, calendar_schema):
+        trace = Trace()
+        query = tr1("SELECT EId FROM Attendance WHERE UId = 1", calendar_schema)
+        trace.record("q", query, Result(columns=["EId"], rows=[]))
+        assert trace.facts == ()
+
+    def test_untranslatable_query_recorded_without_facts(self):
+        trace = Trace()
+        entry = trace.record("q", None, Result(columns=["c"], rows=[(1,)]))
+        assert entry.facts == ()
+
+    def test_fact_cap_respected(self, calendar_schema):
+        trace = Trace(max_facts=3)
+        query = tr1("SELECT EId FROM Attendance WHERE UId = 1", calendar_schema)
+        rows = [(i,) for i in range(10)]
+        trace.record("q", query, Result(columns=["EId"], rows=rows))
+        assert len(trace.facts) == 3
+
+    def test_relevant_facts_filters_by_relation(self, calendar_schema):
+        trace = Trace()
+        query = tr1("SELECT EId FROM Attendance WHERE UId = 1", calendar_schema)
+        trace.record("q", query, Result(columns=["EId"], rows=[(5,)]))
+        assert trace.relevant_facts({"Attendance"})
+        assert not trace.relevant_facts({"Events"})
+
+    def test_duplicate_ground_facts_deduped(self, calendar_schema):
+        trace = Trace()
+        query = tr1(
+            "SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2", calendar_schema
+        )
+        trace.record("q", query, Result(columns=["c"], rows=[(1,)]))
+        trace.record("q", query, Result(columns=["c"], rows=[(1,)]))
+        assert len(trace.facts) == 1

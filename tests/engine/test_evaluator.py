@@ -1,0 +1,99 @@
+"""Expression-evaluator unit tests, including the 3VL truth tables."""
+
+import pytest
+
+from repro.engine.evaluator import evaluate, predicate_holds
+from repro.sqlir.parser import parse_expression
+from repro.util.errors import EngineError
+
+
+def ev(expr_sql, env=None):
+    return evaluate(parse_expression(expr_sql), env or {})
+
+
+class TestLiteralsAndColumns:
+    def test_literals(self):
+        assert ev("5") == 5
+        assert ev("2.5") == 2.5
+        assert ev("'x'") == "x"
+        assert ev("TRUE") is True
+        assert ev("NULL") is None
+
+    def test_column_lookup(self):
+        env = {("t", "a"): 7}
+        assert evaluate(parse_expression("t.a"), env) == 7
+
+    def test_unresolved_column_rejected(self):
+        with pytest.raises(EngineError):
+            ev("bare_column")
+
+    def test_unbound_param_rejected(self):
+        with pytest.raises(EngineError):
+            ev("?")
+
+
+class TestThreeValuedLogic:
+    """SQL's Kleene tables: None stands for UNKNOWN."""
+
+    @pytest.mark.parametrize(
+        ("sql", "expected"),
+        [
+            ("NULL = 1", None),
+            ("NULL <> 1", None),
+            ("NULL < 1", None),
+            ("1 = 1 AND NULL = 1", None),
+            ("1 = 2 AND NULL = 1", False),
+            ("1 = 1 OR NULL = 1", True),
+            ("1 = 2 OR NULL = 1", None),
+            ("NOT (NULL = 1)", None),
+            ("NULL IS NULL", True),
+            ("NULL IS NOT NULL", False),
+            ("1 IS NULL", False),
+            ("NULL IN (1, 2)", None),
+            ("1 IN (1, NULL)", True),
+            ("3 IN (1, NULL)", None),  # might match the unknown item
+            ("3 NOT IN (1, 2)", True),
+            ("3 NOT IN (1, NULL)", None),
+        ],
+    )
+    def test_truth_table(self, sql, expected):
+        assert ev(sql) is expected or ev(sql) == expected
+
+    def test_predicate_holds_requires_true(self):
+        assert predicate_holds(parse_expression("1 = 1"), {})
+        assert not predicate_holds(parse_expression("NULL = 1"), {})
+        assert not predicate_holds(parse_expression("1 = 2"), {})
+
+    def test_null_arithmetic_propagates(self):
+        assert ev("1 + NULL") is None
+        assert ev("NULL * 2") is None
+
+
+class TestArithmetic:
+    def test_operations(self):
+        assert ev("2 + 3 * 4") == 14
+        assert ev("10 / 4") == 2.5
+        assert ev("7 - 2") == 5
+
+    def test_division_by_zero(self):
+        with pytest.raises(EngineError):
+            ev("1 / 0")
+
+    def test_non_numeric_arithmetic_rejected(self):
+        with pytest.raises(EngineError):
+            ev("'a' + 1")
+
+
+class TestComparisons:
+    def test_numeric_cross_type(self):
+        assert ev("1 < 1.5") is True
+
+    def test_string_ordering(self):
+        assert ev("'a' < 'b'") is True
+
+    def test_incomparable_types_rejected(self):
+        with pytest.raises(EngineError):
+            ev("'a' < 1")
+
+    def test_equality_across_types_is_false(self):
+        assert ev("'1' = 1") is False

@@ -1,0 +1,170 @@
+"""Executor tests: the full SQL dialect against a live database."""
+
+import pytest
+
+from repro.util.errors import EngineError, IntegrityError
+
+
+class TestSelect:
+    def test_project_columns(self, tiny_db):
+        result = tiny_db.query("SELECT Name, Age FROM Users")
+        assert result.columns == ["Name", "Age"]
+        assert ("alice", 34) in result.rows
+
+    def test_star(self, tiny_db):
+        result = tiny_db.query("SELECT * FROM Users")
+        assert result.columns == ["UId", "Name", "Age"]
+        assert len(result) == 3
+
+    def test_where_equality_uses_index(self, tiny_db):
+        result = tiny_db.query("SELECT Name FROM Users WHERE UId = 2")
+        assert result.rows == [("bob",)]
+
+    def test_where_range(self, tiny_db):
+        result = tiny_db.query("SELECT Name FROM Users WHERE Age >= 30")
+        assert result.rows == [("alice",)]
+
+    def test_null_comparison_filters_row(self, tiny_db):
+        # carol's Age is NULL; Age >= 0 is UNKNOWN, not TRUE.
+        result = tiny_db.query("SELECT Name FROM Users WHERE Age >= 0")
+        assert ("carol",) not in result.rows
+
+    def test_is_null(self, tiny_db):
+        result = tiny_db.query("SELECT Name FROM Users WHERE Age IS NULL")
+        assert result.rows == [("carol",)]
+
+    def test_in_list(self, tiny_db):
+        result = tiny_db.query("SELECT Name FROM Users WHERE UId IN (1, 3)")
+        assert sorted(result.rows) == [("alice",), ("carol",)]
+
+    def test_not_in_with_null_value(self, tiny_db):
+        # NULL NOT IN (...) is UNKNOWN → row filtered.
+        result = tiny_db.query("SELECT Name FROM Users WHERE Age NOT IN (28)")
+        assert sorted(result.rows) == [("alice",)]
+
+    def test_join_on(self, tiny_db):
+        result = tiny_db.query(
+            "SELECT u.Name, o.Total FROM Users u JOIN Orders o ON o.UId = u.UId"
+            " WHERE o.Total > 50"
+        )
+        assert sorted(result.rows) == [("alice", 99.5), ("bob", 55.25)]
+
+    def test_comma_join_with_where(self, tiny_db):
+        result = tiny_db.query(
+            "SELECT u.Name FROM Users u, Orders o WHERE o.UId = u.UId AND o.OId = 12"
+        )
+        assert result.rows == [("bob",)]
+
+    def test_left_join_preserves_unmatched(self, tiny_db):
+        result = tiny_db.query(
+            "SELECT u.Name, o.OId FROM Users u LEFT JOIN Orders o ON o.UId = u.UId"
+        )
+        assert ("carol", None) in result.rows
+
+    def test_order_by_desc(self, tiny_db):
+        result = tiny_db.query("SELECT Name FROM Users ORDER BY Age DESC")
+        # NULL sorts first ascending, hence last on DESC.
+        assert result.rows == [("alice",), ("bob",), ("carol",)]
+
+    def test_order_by_multi_key(self, tiny_db):
+        result = tiny_db.query(
+            "SELECT UId, OId FROM Orders ORDER BY UId ASC, OId DESC"
+        )
+        assert result.rows == [(1, 11), (1, 10), (2, 12)]
+
+    def test_limit(self, tiny_db):
+        result = tiny_db.query("SELECT UId FROM Users ORDER BY UId LIMIT 2")
+        assert result.rows == [(1,), (2,)]
+
+    def test_distinct(self, tiny_db):
+        result = tiny_db.query("SELECT DISTINCT UId FROM Orders")
+        assert sorted(result.rows) == [(1,), (2,)]
+
+    def test_count_star(self, tiny_db):
+        assert tiny_db.query("SELECT COUNT(*) FROM Orders").scalar() == 3
+
+    def test_count_column_skips_null(self, tiny_db):
+        assert tiny_db.query("SELECT COUNT(Note) FROM Orders").scalar() == 2
+
+    def test_count_distinct(self, tiny_db):
+        assert tiny_db.query("SELECT COUNT(DISTINCT UId) FROM Orders").scalar() == 2
+
+    def test_select_literal(self, tiny_db):
+        result = tiny_db.query("SELECT 1 FROM Users WHERE UId = 1")
+        assert result.rows == [(1,)]
+
+    def test_ambiguous_column_rejected(self, tiny_db):
+        with pytest.raises(EngineError):
+            tiny_db.query("SELECT UId FROM Users u, Orders o")
+
+    def test_unknown_alias_rejected(self, tiny_db):
+        with pytest.raises(EngineError):
+            tiny_db.query("SELECT zz.Name FROM Users u")
+
+    def test_parameters_bound(self, tiny_db):
+        result = tiny_db.query("SELECT Name FROM Users WHERE UId = ?", [2])
+        assert result.rows == [("bob",)]
+
+    def test_named_parameters_bound(self, tiny_db):
+        result = tiny_db.query(
+            "SELECT Name FROM Users WHERE UId = ?U", named={"U": 3}
+        )
+        assert result.rows == [("carol",)]
+
+
+class TestDml:
+    def test_insert_full_row(self, tiny_db):
+        count = tiny_db.sql("INSERT INTO Users VALUES (4, 'dave', 41)")
+        assert count == 1
+        assert tiny_db.row_count("Users") == 4
+
+    def test_insert_column_subset_defaults_null(self, tiny_db):
+        tiny_db.sql("INSERT INTO Users (UId, Name) VALUES (5, 'erin')")
+        result = tiny_db.query("SELECT Age FROM Users WHERE UId = 5")
+        assert result.rows == [(None,)]
+
+    def test_insert_fk_violation(self, tiny_db):
+        with pytest.raises(IntegrityError):
+            tiny_db.sql("INSERT INTO Orders VALUES (20, 99, 1.0, NULL)")
+
+    def test_insert_null_fk_allowed(self, tiny_db):
+        # FK columns accept NULL (no reference asserted) if nullable...
+        # Orders.UId is NOT NULL, so this still fails on nullability.
+        with pytest.raises(IntegrityError):
+            tiny_db.sql("INSERT INTO Orders VALUES (20, NULL, 1.0, NULL)")
+
+    def test_update_with_where(self, tiny_db):
+        count = tiny_db.sql("UPDATE Users SET Age = 35 WHERE UId = 1")
+        assert count == 1
+        assert tiny_db.query("SELECT Age FROM Users WHERE UId = 1").scalar() == 35
+
+    def test_update_expression_over_row(self, tiny_db):
+        tiny_db.sql("UPDATE Users SET Age = Age + 1 WHERE UId = 2")
+        assert tiny_db.query("SELECT Age FROM Users WHERE UId = 2").scalar() == 29
+
+    def test_update_fk_checked(self, tiny_db):
+        with pytest.raises(IntegrityError):
+            tiny_db.sql("UPDATE Orders SET UId = 99 WHERE OId = 10")
+
+    def test_delete_with_where(self, tiny_db):
+        count = tiny_db.sql("DELETE FROM Orders WHERE UId = 1")
+        assert count == 2
+        assert tiny_db.row_count("Orders") == 1
+
+    def test_delete_all(self, tiny_db):
+        assert tiny_db.sql("DELETE FROM Orders") == 3
+
+
+class TestResult:
+    def test_scalar_requires_1x1(self, tiny_db):
+        with pytest.raises(EngineError):
+            tiny_db.query("SELECT UId, Name FROM Users").scalar()
+
+    def test_is_empty_and_first(self, tiny_db):
+        empty = tiny_db.query("SELECT Name FROM Users WHERE UId = 999")
+        assert empty.is_empty()
+        assert empty.first() is None
+
+    def test_as_dicts(self, tiny_db):
+        rows = tiny_db.query("SELECT UId, Name FROM Users WHERE UId = 1").as_dicts()
+        assert rows == [{"UId": 1, "Name": "alice"}]

@@ -1,0 +1,98 @@
+"""Schema object tests."""
+
+import pytest
+
+from repro.engine import Column, ColumnType, ForeignKey, Schema, TableSchema
+from repro.sqlir.parser import parse_sql
+from repro.util.errors import IntegrityError
+
+
+def users_table():
+    return TableSchema(
+        "Users",
+        (
+            Column("UId", ColumnType.INT, nullable=False),
+            Column("Name", ColumnType.TEXT),
+        ),
+        primary_key=("UId",),
+    )
+
+
+class TestTableSchema:
+    def test_column_names_and_index(self):
+        table = users_table()
+        assert table.column_names == ("UId", "Name")
+        assert table.index_of("Name") == 1
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(IntegrityError):
+            users_table().index_of("Nope")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(IntegrityError):
+            TableSchema("T", (Column("a", ColumnType.INT), Column("a", ColumnType.INT)))
+
+    def test_pk_must_reference_existing_column(self):
+        with pytest.raises(IntegrityError):
+            TableSchema("T", (Column("a", ColumnType.INT),), primary_key=("b",))
+
+    def test_fk_must_reference_existing_column(self):
+        with pytest.raises(IntegrityError):
+            TableSchema(
+                "T",
+                (Column("a", ColumnType.INT),),
+                foreign_keys=(ForeignKey("b", "U", "x"),),
+            )
+
+
+class TestSchema:
+    def test_add_and_lookup(self):
+        schema = Schema.of(users_table())
+        assert schema.table("Users").name == "Users"
+        assert schema.columns_of("Users") == ("UId", "Name")
+
+    def test_duplicate_table_rejected(self):
+        schema = Schema.of(users_table())
+        with pytest.raises(IntegrityError):
+            schema.add(users_table())
+
+    def test_fk_to_unknown_table_rejected(self):
+        schema = Schema.of(users_table())
+        with pytest.raises(IntegrityError):
+            schema.add(
+                TableSchema(
+                    "Orders",
+                    (Column("UId", ColumnType.INT),),
+                    foreign_keys=(ForeignKey("UId", "Nope", "UId"),),
+                )
+            )
+
+    def test_self_referencing_fk_allowed(self):
+        schema = Schema()
+        schema.add(
+            TableSchema(
+                "Tree",
+                (
+                    Column("Id", ColumnType.INT, nullable=False),
+                    Column("Parent", ColumnType.INT),
+                ),
+                primary_key=("Id",),
+                foreign_keys=(ForeignKey("Parent", "Tree", "Id"),),
+            )
+        )
+
+    def test_columns_of_unknown_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            Schema().columns_of("Nope")
+
+    def test_from_create_statements(self):
+        stmt = parse_sql(
+            "CREATE TABLE T (id INTEGER PRIMARY KEY, name TEXT NOT NULL,"
+            " owner INT REFERENCES T (id))"
+        )
+        schema = Schema.from_create_statements([stmt])
+        table = schema.table("T")
+        assert table.primary_key == ("id",)
+        assert not table.column("id").nullable
+        assert not table.column("name").nullable
+        assert table.foreign_keys[0] == ForeignKey("owner", "T", "id")

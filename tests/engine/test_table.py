@@ -1,0 +1,110 @@
+"""Row-storage tests: inserts, indexes, deletes, snapshots."""
+
+import pytest
+
+from repro.engine import Column, ColumnType, TableSchema
+from repro.engine.table import Table
+from repro.util.errors import IntegrityError
+
+
+@pytest.fixture
+def table():
+    return Table(
+        TableSchema(
+            "T",
+            (
+                Column("id", ColumnType.INT, nullable=False),
+                Column("name", ColumnType.TEXT),
+            ),
+            primary_key=("id",),
+        )
+    )
+
+
+class TestInsert:
+    def test_insert_and_iterate_in_order(self, table):
+        table.insert((1, "a"))
+        table.insert((2, "b"))
+        assert list(table.rows()) == [(1, "a"), (2, "b")]
+
+    def test_wrong_width_rejected(self, table):
+        with pytest.raises(IntegrityError):
+            table.insert((1,))
+
+    def test_type_checked(self, table):
+        with pytest.raises(IntegrityError):
+            table.insert(("x", "a"))
+
+    def test_not_null_enforced(self, table):
+        with pytest.raises(IntegrityError):
+            table.insert((None, "a"))
+
+    def test_null_allowed_when_nullable(self, table):
+        table.insert((1, None))
+        assert list(table.rows()) == [(1, None)]
+
+    def test_duplicate_pk_rejected(self, table):
+        table.insert((1, "a"))
+        with pytest.raises(IntegrityError):
+            table.insert((1, "b"))
+
+
+class TestLookup:
+    def test_index_lookup(self, table):
+        table.insert((1, "a"))
+        table.insert((2, "a"))
+        table.insert((3, "b"))
+        rows = [row for _, row in table.lookup("name", "a")]
+        assert rows == [(1, "a"), (2, "a")]
+
+    def test_lookup_miss(self, table):
+        table.insert((1, "a"))
+        assert list(table.lookup("name", "zzz")) == []
+
+    def test_contains_value(self, table):
+        table.insert((1, "a"))
+        assert table.contains_value("id", 1)
+        assert not table.contains_value("id", 99)
+
+
+class TestDeleteUpdate:
+    def test_delete_updates_indexes(self, table):
+        row_id = table.insert((1, "a"))
+        assert table.delete_ids([row_id]) == 1
+        assert not table.contains_value("id", 1)
+        assert len(table) == 0
+
+    def test_delete_frees_pk(self, table):
+        row_id = table.insert((1, "a"))
+        table.delete_ids([row_id])
+        table.insert((1, "again"))
+
+    def test_update_in_place(self, table):
+        row_id = table.insert((1, "a"))
+        table.update_id(row_id, (1, "z"))
+        assert list(table.rows()) == [(1, "z")]
+        assert [row for _, row in table.lookup("name", "z")] == [(1, "z")]
+
+    def test_update_missing_row(self, table):
+        with pytest.raises(IntegrityError):
+            table.update_id(99, (1, "a"))
+
+
+class TestSnapshot:
+    def test_snapshot_restore(self, table):
+        table.insert((1, "a"))
+        snapshot = table.snapshot()
+        table.insert((2, "b"))
+        table.restore(snapshot)
+        assert list(table.rows()) == [(1, "a")]
+        # Indexes rebuilt correctly.
+        assert table.contains_value("id", 1)
+        assert not table.contains_value("id", 2)
+
+    def test_restore_then_insert_does_not_collide(self, table):
+        table.insert((1, "a"))
+        snapshot = table.snapshot()
+        table.insert((2, "b"))
+        table.restore(snapshot)
+        table.insert((3, "c"))
+        assert [row[0] for row in table.rows()] == [1, 3]

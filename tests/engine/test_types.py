@@ -1,0 +1,58 @@
+"""Column-type checking tests."""
+
+import pytest
+
+from repro.engine.types import ColumnType, check_value
+from repro.util.errors import IntegrityError
+
+
+class TestFromSql:
+    @pytest.mark.parametrize(
+        ("name", "expected"),
+        [
+            ("INT", ColumnType.INT),
+            ("integer", ColumnType.INT),
+            ("TEXT", ColumnType.TEXT),
+            ("VARCHAR", ColumnType.TEXT),
+            ("REAL", ColumnType.REAL),
+            ("float", ColumnType.REAL),
+            ("BOOLEAN", ColumnType.BOOL),
+        ],
+    )
+    def test_known_names(self, name, expected):
+        assert ColumnType.from_sql(name) is expected
+
+    def test_unknown_name(self):
+        with pytest.raises(IntegrityError):
+            ColumnType.from_sql("BLOB")
+
+
+class TestCheckValue:
+    def test_null_passes_all_types(self):
+        for column_type in ColumnType:
+            assert check_value(None, column_type, "c") is None
+
+    def test_int_accepts_int(self):
+        assert check_value(5, ColumnType.INT, "c") == 5
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(IntegrityError):
+            check_value(True, ColumnType.INT, "c")
+
+    def test_int_rejects_float(self):
+        with pytest.raises(IntegrityError):
+            check_value(1.5, ColumnType.INT, "c")
+
+    def test_real_widens_int(self):
+        value = check_value(5, ColumnType.REAL, "c")
+        assert value == 5.0
+        assert isinstance(value, float)
+
+    def test_text_rejects_number(self):
+        with pytest.raises(IntegrityError):
+            check_value(5, ColumnType.TEXT, "c")
+
+    def test_bool_accepts_bool_only(self):
+        assert check_value(True, ColumnType.BOOL, "c") is True
+        with pytest.raises(IntegrityError):
+            check_value(1, ColumnType.BOOL, "c")

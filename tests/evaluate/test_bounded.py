@@ -1,0 +1,111 @@
+"""Bounded semantic oracle tests, and validation of the production checkers.
+
+The key assertions tie the rewriting-based PQI/NQI checkers back to the
+*definitions*: whenever the production checker claims the criterion
+holds, the brute-force enumeration over a domain containing the witness
+values must agree. (The converse is not asserted: the production
+checkers are deliberately conservative, and bounded enumeration itself
+over-approximates.)
+"""
+
+import pytest
+
+from repro.evaluate.bounded import bounded_nqi, bounded_pqi
+from repro.evaluate.nqi import check_nqi
+from repro.evaluate.pqi import check_pqi
+from repro.relalg.cq import CQ, Atom, Comp, Const, Var
+from repro.relalg.rewrite import ViewDef
+
+# A tiny vocabulary: one binary relation E(name, age) with ages in a
+# 3-value domain, mirroring Example 4.2's shape at toy scale.
+ARITIES = {"E": 2}
+DOMAIN = [0, 1, 2]
+
+
+def query(threshold):
+    """SELECT name FROM E WHERE age >= threshold, at toy scale."""
+    return CQ(
+        head=(Var("n"),),
+        body=(Atom("E", (Var("n"), Var("a"))),),
+        comps=(Comp("<=", Const(threshold), Var("a")),),
+    )
+
+
+class TestOracleSemantics:
+    def test_identity_view_gives_both(self):
+        sensitive = query(1)
+        views = [ViewDef("V", query(1))]
+        assert bounded_pqi(sensitive, views, ARITIES, DOMAIN).holds
+        assert bounded_nqi(sensitive, views, ARITIES, DOMAIN).holds
+
+    def test_narrow_view_pqi_only(self):
+        # V = age >= 2 (seniors), S = age >= 1 (adults): positive
+        # implication but no bound.
+        sensitive = query(1)
+        views = [ViewDef("V", query(2))]
+        assert bounded_pqi(sensitive, views, ARITIES, DOMAIN).holds
+        assert not bounded_nqi(sensitive, views, ARITIES, DOMAIN).holds
+
+    def test_broad_view_nqi_only(self):
+        sensitive = query(2)
+        views = [ViewDef("V", query(1))]
+        assert not bounded_pqi(sensitive, views, ARITIES, DOMAIN).holds
+        assert bounded_nqi(sensitive, views, ARITIES, DOMAIN).holds
+
+    def test_unrelated_view_gives_neither(self):
+        sensitive = query(1)
+        # A view over a different relation reveals nothing about E.
+        other = CQ(head=(Var("x"),), body=(Atom("F", (Var("x"),)),))
+        views = [ViewDef("V", other)]
+        arities = {"E": 2, "F": 1}
+        assert not bounded_pqi(sensitive, views, arities, DOMAIN, max_rows=2).holds
+        assert not bounded_nqi(sensitive, views, arities, DOMAIN, max_rows=2).holds
+
+    def test_witnesses_reported(self):
+        sensitive = query(1)
+        views = [ViewDef("V", query(2))]
+        result = bounded_pqi(sensitive, views, ARITIES, DOMAIN)
+        assert result.witness_row is not None
+        assert result.instances_examined > 0
+
+
+class TestCheckerAgreesWithDefinitions:
+    """Production checker says holds ⇒ the oracle must agree."""
+
+    CASES = [
+        # (sensitive threshold, view threshold)
+        (1, 1),
+        (1, 2),
+        (2, 1),
+        (2, 2),
+        (0, 2),
+        (2, 0),
+    ]
+
+    @pytest.mark.parametrize(("s_thresh", "v_thresh"), CASES)
+    def test_pqi_direction(self, s_thresh, v_thresh):
+        sensitive = query(s_thresh)
+        views = [ViewDef("V", query(v_thresh))]
+        if check_pqi(sensitive, views).holds:
+            assert bounded_pqi(sensitive, views, ARITIES, DOMAIN).holds
+
+    @pytest.mark.parametrize(("s_thresh", "v_thresh"), CASES)
+    def test_nqi_direction(self, s_thresh, v_thresh):
+        sensitive = query(s_thresh)
+        views = [ViewDef("V", query(v_thresh))]
+        if check_nqi(sensitive, views).holds:
+            assert bounded_nqi(sensitive, views, ARITIES, DOMAIN).holds
+
+    def test_join_view_case(self):
+        # S: pairs joined on the second column; V exposes the join.
+        sensitive = CQ(
+            head=(Var("x"), Var("y")),
+            body=(
+                Atom("R", (Var("x"), Var("z"))),
+                Atom("R", (Var("y"), Var("z"))),
+            ),
+        )
+        view = ViewDef("V", sensitive)
+        arities = {"R": 2}
+        assert check_pqi(sensitive, [view]).holds
+        assert bounded_pqi(sensitive, [view], arities, [0, 1], max_rows=2).holds

@@ -1,0 +1,64 @@
+"""The paper's Example 2.1, end-to-end through the real proxy.
+
+This is the reproduction's acceptance test: the exact query sequence of
+§2.2 with the exact verdicts the paper states, against live data.
+"""
+
+import pytest
+
+from repro.enforce import EnforcementProxy, PolicyViolation, Session
+from repro.workloads import calendar_app
+
+
+@pytest.fixture
+def setup():
+    db = calendar_app.make_database(size=10, seed=3)
+    # Ensure the paper's concrete rows exist: user 1 attends event 2.
+    if db.query(
+        "SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2"
+    ).is_empty():
+        db.sql("INSERT INTO Attendance VALUES (1, 2)")
+    policy = calendar_app.ground_truth_policy()
+    return db, policy
+
+
+def test_full_example(setup):
+    db, policy = setup
+    proxy = EnforcementProxy(db, policy, Session.for_user(1))
+
+    # (Q1) Does User #1 attend Event #2? — allowed under V1.
+    q1 = proxy.query("SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2")
+    assert not q1.is_empty()
+
+    # (Q2) Fetch details about Event #2 — allowed *given Q1's answer*.
+    q2 = proxy.query("SELECT * FROM Events WHERE EId = 2")
+    assert len(q2) == 1
+    assert proxy.stats.allowed == 2
+    assert proxy.stats.blocked == 0
+
+
+def test_q2_blocked_in_isolation(setup):
+    db, policy = setup
+    fresh = EnforcementProxy(db, policy, Session.for_user(1))
+    with pytest.raises(PolicyViolation):
+        fresh.query("SELECT * FROM Events WHERE EId = 2")
+
+
+def test_q2_blocked_when_history_disabled(setup):
+    db, policy = setup
+    proxy = EnforcementProxy(
+        db, policy, Session.for_user(1), history_enabled=False
+    )
+    proxy.query("SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2")
+    with pytest.raises(PolicyViolation):
+        proxy.query("SELECT * FROM Events WHERE EId = 2")
+
+
+def test_q2_blocked_for_non_attendee(setup):
+    db, policy = setup
+    db.sql("DELETE FROM Attendance WHERE UId = 2 AND EId = 2")
+    proxy = EnforcementProxy(db, policy, Session.for_user(2))
+    check = proxy.query("SELECT 1 FROM Attendance WHERE UId = 2 AND EId = 2")
+    assert check.is_empty()  # allowed, but returns nothing
+    with pytest.raises(PolicyViolation):
+        proxy.query("SELECT * FROM Events WHERE EId = 2")

@@ -1,0 +1,125 @@
+"""Policy/view comparison tests."""
+
+from repro.policy import Policy, View, compare_policies
+from repro.policy.compare import (
+    policy_allows,
+    view_covered_by,
+    view_subsumed,
+    views_equivalent,
+)
+from repro.relalg.translate import translate_select
+from repro.sqlir.parser import parse_select
+
+
+class TestViewEquivalence:
+    def test_alias_renaming_irrelevant(self, calendar_schema):
+        v1 = View("A", "SELECT EId FROM Attendance a WHERE a.UId = ?MyUId", calendar_schema)
+        v2 = View("B", "SELECT EId FROM Attendance x WHERE x.UId = ?MyUId", calendar_schema)
+        assert views_equivalent(v1, v2)
+
+    def test_params_aligned_by_name(self, calendar_schema):
+        v1 = View("A", "SELECT EId FROM Attendance WHERE UId = ?MyUId", calendar_schema)
+        v2 = View("B", "SELECT EId FROM Attendance WHERE UId = ?Other", calendar_schema)
+        assert not views_equivalent(v1, v2)
+
+    def test_subsumption_direction(self, calendar_schema):
+        narrow = View(
+            "N", "SELECT EId FROM Attendance WHERE UId = ?MyUId AND EId = 1",
+            calendar_schema,
+        )
+        broad = View("B", "SELECT EId FROM Attendance WHERE UId = ?MyUId", calendar_schema)
+        assert view_subsumed(narrow, broad)
+        assert not view_subsumed(broad, narrow)
+
+
+class TestCoverage:
+    def test_projection_covered(self, calendar_schema):
+        # A narrower projection of a policy view is covered by the policy.
+        policy = Policy(
+            [View("V", "SELECT EId, Title, Time, Loc FROM Events", calendar_schema)]
+        )
+        projected = View("P", "SELECT Title FROM Events", calendar_schema)
+        assert view_covered_by(projected, policy)
+
+    def test_rejoin_covered(self, calendar_schema):
+        # Joining two policy views is still covered information.
+        policy = Policy(
+            [
+                View("VA", "SELECT UId, EId FROM Attendance", calendar_schema),
+                View("VE", "SELECT EId, Title, Time, Loc FROM Events", calendar_schema),
+            ]
+        )
+        joined = View(
+            "J",
+            "SELECT a.UId, e.Title FROM Attendance a JOIN Events e ON e.EId = a.EId",
+            calendar_schema,
+        )
+        assert view_covered_by(joined, policy)
+
+    def test_uncovered_column(self, calendar_schema):
+        policy = Policy([View("V", "SELECT EId, Title FROM Events", calendar_schema)])
+        wide = View("W", "SELECT EId, Loc FROM Events", calendar_schema)
+        assert not view_covered_by(wide, policy)
+
+
+class TestComparePolicies:
+    def test_exact_match(self, calendar_policy):
+        comparison = compare_policies(calendar_policy, calendar_policy)
+        assert comparison.exact
+        assert comparison.precision == 1.0
+        assert comparison.recall == 1.0
+
+    def test_missing_view_hurts_recall(self, calendar_policy, calendar_schema):
+        partial = Policy([calendar_policy.view("V1"), calendar_policy.view("V2")])
+        comparison = compare_policies(partial, calendar_policy)
+        assert comparison.recall < 1.0
+        assert comparison.precision == 1.0
+
+    def test_extra_view_hurts_precision(self, calendar_policy, calendar_schema):
+        extra = Policy(calendar_policy.views)
+        extra.add(View("Vbad", "SELECT EId, Title, Time, Loc FROM Events", calendar_schema))
+        comparison = compare_policies(extra, calendar_policy)
+        assert comparison.precision < 1.0
+        assert comparison.recall == 1.0
+        assert "Vbad" in comparison.unmatched_candidate
+
+    def test_split_views_still_exact(self, calendar_policy, calendar_schema):
+        # Replacing V2 by column-split variants preserves exactness
+        # because coverage is information-based.
+        split = Policy(
+            [v for v in calendar_policy.views if v.name != "V2"]
+        )
+        split.add(
+            View(
+                "V2a",
+                "SELECT e.EId, e.Title, e.Time, e.Loc FROM Events e"
+                " JOIN Attendance a ON e.EId = a.EId WHERE a.UId = ?MyUId",
+                calendar_schema,
+            )
+        )
+        split.add(
+            View(
+                "V2b",
+                "SELECT a.UId, a.EId FROM Events e"
+                " JOIN Attendance a ON e.EId = a.EId WHERE a.UId = ?MyUId",
+                calendar_schema,
+            )
+        )
+        comparison = compare_policies(split, calendar_policy)
+        assert comparison.exact, comparison.describe()
+
+
+class TestPolicyAllows:
+    def test_allows_covered_query(self, calendar_policy, calendar_schema):
+        query = translate_select(
+            parse_select("SELECT EId FROM Attendance WHERE UId = 4"),
+            calendar_schema,
+        ).disjuncts[0]
+        assert policy_allows(calendar_policy, query, {"MyUId": 4})
+
+    def test_blocks_other_user(self, calendar_policy, calendar_schema):
+        query = translate_select(
+            parse_select("SELECT EId FROM Attendance WHERE UId = 4"),
+            calendar_schema,
+        ).disjuncts[0]
+        assert not policy_allows(calendar_policy, query, {"MyUId": 5})

@@ -1,0 +1,103 @@
+"""Policy-linter tests."""
+
+from repro.policy import Policy, View, lint_policy
+
+
+def codes(findings, view=None):
+    return {
+        f.code
+        for f in findings
+        if view is None or f.view == view
+    }
+
+
+class TestCleanPolicies:
+    def test_calendar_ground_truth_clean(self, calendar_policy):
+        assert lint_policy(calendar_policy) == []
+
+    def test_empty_policy_clean(self):
+        assert lint_policy(Policy(name="empty")) == []
+
+
+class TestBroadViews:
+    def test_unparameterized_view_flagged(self, calendar_schema):
+        policy = Policy(
+            [
+                View("Vme", "SELECT EId FROM Attendance WHERE UId = ?MyUId", calendar_schema),
+                View("Vall", "SELECT Title FROM Events", calendar_schema),
+            ]
+        )
+        findings = lint_policy(policy)
+        assert codes(findings, "Vall") == {"broad"}
+        assert codes(findings, "Vme") == set()
+
+
+class TestRedundantViews:
+    def test_projection_of_other_view_flagged(self, calendar_schema):
+        policy = Policy(
+            [
+                View("Vfull", "SELECT UId, EId FROM Attendance WHERE UId = ?MyUId", calendar_schema),
+                View("Vnarrow", "SELECT EId FROM Attendance WHERE UId = ?MyUId", calendar_schema),
+            ]
+        )
+        findings = lint_policy(policy)
+        assert "redundant" in codes(findings, "Vnarrow")
+        assert "redundant" not in codes(findings, "Vfull")
+
+    def test_independent_views_not_flagged(self, calendar_policy):
+        assert all(f.code != "redundant" for f in lint_policy(calendar_policy))
+
+
+class TestParamTypos:
+    def test_lone_param_flagged(self, calendar_schema):
+        policy = Policy(
+            [
+                View("V1", "SELECT EId FROM Attendance WHERE UId = ?MyUId", calendar_schema),
+                View("V2", "SELECT * FROM Users WHERE UId = ?MyUId", calendar_schema),
+                View("Voops", "SELECT Title FROM Events e JOIN Attendance a"
+                     " ON e.EId = a.EId WHERE a.UId = ?MyUid", calendar_schema),
+            ]
+        )
+        findings = lint_policy(policy)
+        assert "lone-param" in codes(findings, "Voops")
+
+    def test_single_view_policy_no_lone_param(self, calendar_schema):
+        policy = Policy(
+            [View("V", "SELECT EId FROM Attendance WHERE UId = ?MyUId", calendar_schema)]
+        )
+        assert all(f.code != "lone-param" for f in lint_policy(policy))
+
+
+class TestNonConjunctive:
+    def test_union_view_flagged(self, calendar_schema):
+        policy = Policy(
+            [
+                View(
+                    "Vunion",
+                    "SELECT EId FROM Attendance WHERE UId = 1 OR UId = 2",
+                    calendar_schema,
+                )
+            ]
+        )
+        findings = lint_policy(policy)
+        assert "non-conjunctive" in codes(findings, "Vunion")
+        assert any(f.severity == "warning" for f in findings)
+
+
+class TestCli:
+    def test_lint_subcommand_clean(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--app", "calendar"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_lint_policy_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        policy_file = tmp_path / "p.txt"
+        policy_file.write_text(
+            "view Vall\n  SELECT Title FROM Events\n"
+        )
+        code = main(["lint", "--app", "calendar", "--policy-file", str(policy_file)])
+        assert code == 0  # info-only findings
+        assert "broad" in capsys.readouterr().out

@@ -1,0 +1,49 @@
+"""Policy text-format round-trip tests."""
+
+import pytest
+
+from repro.policy import Policy, View, policy_from_text, policy_to_text
+from repro.policy.compare import views_equivalent
+from repro.util.errors import PolicyError
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_views(self, calendar_policy, calendar_schema):
+        text = policy_to_text(calendar_policy)
+        restored = policy_from_text(text, calendar_schema, name="restored")
+        assert len(restored) == len(calendar_policy)
+        for view in calendar_policy:
+            assert views_equivalent(view, restored.view(view.name))
+
+    def test_descriptions_preserved(self, calendar_policy, calendar_schema):
+        text = policy_to_text(calendar_policy)
+        restored = policy_from_text(text, calendar_schema)
+        assert restored.view("V1").description
+
+    def test_multiline_sql_joined(self, calendar_schema):
+        text = (
+            "view V2 -- joined view\n"
+            "  SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId\n"
+            "  WHERE a.UId = ?MyUId\n"
+        )
+        policy = policy_from_text(text, calendar_schema)
+        assert policy.view("V2").is_conjunctive
+
+    def test_comments_and_blanks_ignored(self, calendar_schema):
+        text = "# heading\n\nview V1\n  SELECT EId FROM Attendance WHERE UId = ?MyUId\n"
+        policy = policy_from_text(text, calendar_schema)
+        assert len(policy) == 1
+
+
+class TestErrors:
+    def test_sql_outside_view_rejected(self, calendar_schema):
+        with pytest.raises(PolicyError):
+            policy_from_text("SELECT 1 FROM Events", calendar_schema)
+
+    def test_view_without_sql_rejected(self, calendar_schema):
+        with pytest.raises(PolicyError):
+            policy_from_text("view V1\nview V2\n  SELECT EId FROM Attendance", calendar_schema)
+
+    def test_header_without_name_rejected(self, calendar_schema):
+        with pytest.raises(PolicyError):
+            policy_from_text("view \n  SELECT 1 FROM Events", calendar_schema)

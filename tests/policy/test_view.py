@@ -1,0 +1,77 @@
+"""View object tests."""
+
+import pytest
+
+from repro.policy import View
+from repro.util.errors import PolicyError
+
+
+class TestView:
+    def test_from_sql_text(self, calendar_schema):
+        view = View("V1", "SELECT EId FROM Attendance WHERE UId = ?MyUId", calendar_schema)
+        assert view.param_names == ["MyUId"]
+        assert view.is_conjunctive
+
+    def test_instantiate(self, calendar_schema):
+        view = View("V1", "SELECT EId FROM Attendance WHERE UId = ?MyUId", calendar_schema)
+        instantiated = view.instantiate({"MyUId": 3})
+        assert not instantiated.params()
+
+    def test_view_def_for_rewriting(self, calendar_schema):
+        view = View("V1", "SELECT EId FROM Attendance WHERE UId = ?MyUId", calendar_schema)
+        definition = view.view_def({"MyUId": 3})
+        assert definition.name == "V1"
+        assert definition.cq.relations() == {"Attendance"}
+
+    def test_union_view_representable_but_not_conjunctive(self, calendar_schema):
+        view = View(
+            "V", "SELECT EId FROM Attendance WHERE UId = 1 OR UId = 2", calendar_schema
+        )
+        assert not view.is_conjunctive
+        with pytest.raises(PolicyError):
+            _ = view.cq
+        with pytest.raises(PolicyError):
+            view.view_def({})
+
+    def test_untranslatable_view_rejected(self, calendar_schema):
+        with pytest.raises(PolicyError):
+            View("V", "SELECT COUNT(*) FROM Events", calendar_schema)
+
+    def test_view_against_unknown_table_rejected(self, calendar_schema):
+        with pytest.raises(PolicyError):
+            View("V", "SELECT x FROM Missing", calendar_schema)
+
+
+class TestPolicyObject:
+    def test_membership_and_lookup(self, calendar_policy):
+        assert "V1" in calendar_policy
+        assert calendar_policy.view("V2").name == "V2"
+        assert len(calendar_policy) == 4
+
+    def test_duplicate_name_rejected(self, calendar_policy, calendar_schema):
+        with pytest.raises(PolicyError):
+            calendar_policy.add(
+                View("V1", "SELECT EId FROM Attendance WHERE UId = ?MyUId", calendar_schema)
+            )
+
+    def test_remove(self, calendar_policy):
+        calendar_policy.remove("V4")
+        assert "V4" not in calendar_policy
+        with pytest.raises(PolicyError):
+            calendar_policy.remove("V4")
+
+    def test_with_view_copies(self, calendar_policy, calendar_schema):
+        extended = calendar_policy.with_view(
+            View("Vnew", "SELECT Title FROM Events WHERE EId = ?MyUId", calendar_schema)
+        )
+        assert "Vnew" in extended
+        assert "Vnew" not in calendar_policy
+
+    def test_param_names_aggregated(self, calendar_policy):
+        assert calendar_policy.param_names() == ["MyUId"]
+
+    def test_view_defs_instantiated(self, calendar_policy):
+        defs = calendar_policy.view_defs({"MyUId": 5})
+        assert len(defs) == 4
+        for definition in defs:
+            assert not definition.cq.params()

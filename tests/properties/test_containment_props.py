@@ -1,0 +1,98 @@
+"""Property tests for containment: soundness against brute-force evaluation.
+
+The key invariant: whenever ``cq_contained_in(q1, q2)`` says True, then on
+every small random instance, ``q1``'s answers are a subset of ``q2``'s.
+(The converse cannot be asserted — the test is deliberately incomplete for
+comparisons — so only soundness is checked.)
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.evaluate.answers import evaluate_cq
+from repro.relalg.containment import cq_contained_in
+from repro.relalg.cq import CQ, Atom, Comp, Const, Var
+
+# A fixed tiny vocabulary: R(a, b) and S(b) over small integer domains.
+VALUES = [0, 1, 2]
+VARS = [Var("x"), Var("y"), Var("z")]
+
+
+def terms():
+    return st.one_of(
+        st.sampled_from(VARS),
+        st.sampled_from([Const(v) for v in VALUES]),
+    )
+
+
+def atoms():
+    return st.one_of(
+        st.builds(lambda a, b: Atom("R", (a, b)), terms(), terms()),
+        st.builds(lambda a: Atom("S", (a,)), terms()),
+    )
+
+
+def comps():
+    return st.builds(
+        lambda op, l, r: Comp(op, l, r),
+        st.sampled_from(["=", "!=", "<", "<="]),
+        terms(),
+        terms(),
+    )
+
+
+def queries():
+    def build(body, comp_list, head_var):
+        bound_vars = {v for a in body for v in a.variables()}
+        # Keep queries range-restricted (every comparison variable bound by
+        # the body) — the only class the SQL translator produces, and the
+        # class the containment test is complete-enough for.
+        restricted = tuple(
+            c
+            for c in comp_list
+            if all(not isinstance(t, Var) or t in bound_vars for t in (c.left, c.right))
+        )
+        head = (head_var,) if head_var in bound_vars else (Const(1),)
+        return CQ(head=head, body=tuple(body), comps=restricted)
+
+    return st.builds(
+        build,
+        st.lists(atoms(), min_size=1, max_size=3),
+        st.lists(comps(), min_size=0, max_size=2),
+        st.sampled_from(VARS),
+    )
+
+
+def instances():
+    r_rows = st.lists(
+        st.tuples(st.sampled_from(VALUES), st.sampled_from(VALUES)),
+        max_size=5,
+    )
+    s_rows = st.lists(st.tuples(st.sampled_from(VALUES)), max_size=3)
+    return st.builds(
+        lambda r, s: {"R": set(r), "S": set(s)},
+        r_rows,
+        s_rows,
+    )
+
+
+@given(queries(), queries(), instances())
+@settings(max_examples=400, deadline=None)
+def test_containment_soundness(q1, q2, instance):
+    if q1.arity != q2.arity:
+        return
+    if cq_contained_in(q1, q2):
+        answers1 = evaluate_cq(q1, instance)
+        answers2 = evaluate_cq(q2, instance)
+        assert answers1 <= answers2, (q1, q2, instance)
+
+
+@given(queries())
+@settings(max_examples=200, deadline=None)
+def test_containment_reflexive(q):
+    assert cq_contained_in(q, q)
+
+
+# Note: transitivity of the *decision procedure* is deliberately not
+# asserted — the test is sound but incomplete, and an incomplete test need
+# not be transitive (semantic containment is, of course).

@@ -1,0 +1,114 @@
+"""Property test: printer∘parser is the identity on generated statements."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sqlir import ast
+from repro.sqlir.parser import parse_sql
+from repro.sqlir.printer import to_sql
+
+identifiers = st.sampled_from(["t", "users", "Events", "a1", "col_x", "B"])
+column_names = st.sampled_from(["a", "b", "c", "Name", "EId", "x_y"])
+
+literals = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000).map(ast.Literal),
+    st.floats(min_value=-100, max_value=100, allow_nan=False).filter(
+        lambda f: f == f
+    ).map(lambda f: ast.Literal(round(f, 3))),
+    st.text(
+        alphabet="abc'x_ 9", min_size=0, max_size=6
+    ).map(ast.Literal),
+    st.sampled_from([ast.Literal(None), ast.Literal(True), ast.Literal(False)]),
+)
+
+columns = st.builds(
+    ast.Column,
+    table=st.one_of(st.none(), identifiers),
+    name=column_names,
+)
+
+atoms = st.one_of(literals, columns, st.builds(ast.Param, index=st.none(), name=st.sampled_from(["MyUId", "P1"])))
+
+
+def comparisons(operand):
+    return st.builds(
+        ast.Comparison,
+        op=st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+        left=operand,
+        right=operand,
+    )
+
+
+predicates = st.recursive(
+    st.one_of(
+        comparisons(atoms),
+        st.builds(ast.IsNull, expr=columns, negated=st.booleans()),
+        st.builds(
+            ast.InList,
+            expr=columns,
+            items=st.lists(literals, min_size=1, max_size=3).map(tuple),
+            negated=st.booleans(),
+        ),
+    ),
+    lambda children: st.one_of(
+        st.builds(ast.Not, operand=children),
+        st.builds(
+            ast.BoolOp,
+            op=st.just("AND"),
+            operands=st.lists(children, min_size=2, max_size=3).map(tuple),
+        ),
+        st.builds(
+            ast.BoolOp,
+            op=st.just("OR"),
+            operands=st.lists(children, min_size=2, max_size=3).map(tuple),
+        ),
+    ),
+    max_leaves=8,
+)
+
+select_items = st.lists(
+    st.builds(ast.SelectItem, expr=st.one_of(columns, literals), alias=st.none()),
+    min_size=1,
+    max_size=4,
+).map(tuple)
+
+table_refs = st.builds(ast.TableRef.of, identifiers, st.one_of(st.none(), identifiers))
+
+selects = st.builds(
+    ast.Select,
+    items=select_items,
+    sources=st.lists(table_refs, min_size=1, max_size=2).map(tuple),
+    joins=st.just(()),
+    where=st.one_of(st.none(), predicates),
+    order_by=st.just(()),
+    limit=st.one_of(st.none(), st.integers(min_value=0, max_value=100)),
+    distinct=st.booleans(),
+)
+
+
+def normalize(stmt: ast.Statement) -> ast.Statement:
+    """The parser flattens nested AND/OR; normalize generated trees the
+    same way so equality is meaningful."""
+
+    def flatten(expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.BoolOp):
+            operands = []
+            for operand in expr.operands:
+                if isinstance(operand, ast.BoolOp) and operand.op == expr.op:
+                    operands.extend(operand.operands)
+                else:
+                    operands.append(operand)
+            return ast.BoolOp(expr.op, tuple(operands))
+        return expr
+
+    return ast.map_statement(stmt, flatten)
+
+
+@given(selects)
+@settings(max_examples=300, deadline=None)
+def test_print_parse_roundtrip(stmt):
+    stmt = normalize(stmt)
+    sql = to_sql(stmt)
+    reparsed = parse_sql(sql)
+    assert to_sql(reparsed) == sql
+    assert normalize(reparsed) == stmt

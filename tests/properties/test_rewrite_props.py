@@ -1,0 +1,103 @@
+"""Property tests for the rewriting engine.
+
+Soundness of the two validated entry points, checked semantically on
+random instances:
+
+* an *equivalent* rewriting's expansion must produce exactly the query's
+  answers on every instance, and evaluating the rewriting over the view
+  images must give the same answers (the compliance guarantee);
+* every *maximally contained* rewriting's expansion must produce a subset
+  of the query's answers on every instance.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.evaluate.answers import evaluate_cq
+from repro.relalg.cq import CQ, Atom, Comp, Const, Var
+from repro.relalg.rewrite import (
+    ViewDef,
+    find_equivalent_rewriting,
+    maximally_contained_rewritings,
+)
+
+VALUES = [0, 1, 2]
+VARS = [Var("x"), Var("y"), Var("z")]
+
+
+def terms():
+    return st.one_of(
+        st.sampled_from(VARS),
+        st.sampled_from([Const(v) for v in VALUES]),
+    )
+
+
+def atoms():
+    return st.one_of(
+        st.builds(lambda a, b: Atom("R", (a, b)), terms(), terms()),
+        st.builds(lambda a: Atom("S", (a,)), terms()),
+    )
+
+
+def range_restricted(body, comp_list, head_vars):
+    bound = {v for a in body for v in a.variables()}
+    comps = tuple(
+        c
+        for c in comp_list
+        if all(not isinstance(t, Var) or t in bound for t in (c.left, c.right))
+    )
+    head = tuple(v for v in head_vars if v in bound) or (Const(1),)
+    return CQ(head=head, body=tuple(body), comps=comps)
+
+
+def queries():
+    return st.builds(
+        range_restricted,
+        st.lists(atoms(), min_size=1, max_size=2),
+        st.lists(
+            st.builds(
+                lambda op, l, r: Comp(op, l, r),
+                st.sampled_from(["=", "<", "<="]),
+                terms(),
+                terms(),
+            ),
+            max_size=1,
+        ),
+        st.lists(st.sampled_from(VARS), min_size=1, max_size=2, unique=True),
+    )
+
+
+def instances():
+    return st.builds(
+        lambda r, s: {"R": set(r), "S": set(s)},
+        st.lists(st.tuples(st.sampled_from(VALUES), st.sampled_from(VALUES)), max_size=5),
+        st.lists(st.tuples(st.sampled_from(VALUES)), max_size=3),
+    )
+
+
+@given(queries(), queries(), instances())
+@settings(max_examples=250, deadline=None)
+def test_equivalent_rewriting_soundness(query, view_cq, instance):
+    views = [ViewDef("V", view_cq)]
+    rewriting = find_equivalent_rewriting(query, views)
+    if rewriting is None:
+        return
+    # 1. The expansion agrees with the query on every instance.
+    assert evaluate_cq(rewriting.expansion, instance) == evaluate_cq(query, instance)
+    # 2. The compliance guarantee: evaluating the rewriting over the VIEW
+    # IMAGE (not the base tables) also reproduces the query's answer.
+    image = {"V": evaluate_cq(view_cq, instance)}
+    assert evaluate_cq(rewriting.rewriting, image) == evaluate_cq(query, instance)
+
+
+@given(queries(), queries(), instances())
+@settings(max_examples=250, deadline=None)
+def test_contained_rewriting_soundness(query, view_cq, instance):
+    views = [ViewDef("V", view_cq)]
+    for rewriting in maximally_contained_rewritings(query, views, max_candidates=200):
+        expansion_answers = evaluate_cq(rewriting.expansion, instance)
+        query_answers = evaluate_cq(query, instance)
+        assert expansion_answers <= query_answers, (query, view_cq, rewriting)
+        # The narrowed answers are computable from the view image alone.
+        image = {"V": evaluate_cq(view_cq, instance)}
+        assert evaluate_cq(rewriting.rewriting, image) == expansion_answers

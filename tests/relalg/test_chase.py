@@ -1,0 +1,77 @@
+"""Bounded-chase tests."""
+
+from repro.relalg.chase import TGD, chase
+from repro.relalg.cq import CQ, Atom, Const, Var
+
+
+def hospital_tgd():
+    return TGD(
+        body=(Atom("PatientConditions", (Var("p"), Var("d"))),),
+        head=(
+            Atom("Patients", (Var("p"), Var("n"), Var("doc"))),
+            Atom("DoctorDiseases", (Var("doc"), Var("d"))),
+        ),
+        name="treated-by-assigned-doctor",
+    )
+
+
+class TestChase:
+    def test_adds_implied_atoms(self):
+        query = CQ(
+            head=(Var("d"),),
+            body=(Atom("PatientConditions", (Const(1), Var("d"))),),
+        )
+        chased = chase(query, [hospital_tgd()])
+        relations = [a.rel for a in chased.body]
+        assert "Patients" in relations
+        assert "DoctorDiseases" in relations
+
+    def test_existentials_are_fresh(self):
+        query = CQ(
+            head=(Var("d"),),
+            body=(Atom("PatientConditions", (Const(1), Var("d"))),),
+        )
+        chased = chase(query, [hospital_tgd()])
+        patients = next(a for a in chased.body if a.rel == "Patients")
+        # p is the frontier constant; n and doc are fresh variables.
+        assert patients.args[0] == Const(1)
+        assert isinstance(patients.args[1], Var)
+        assert isinstance(patients.args[2], Var)
+
+    def test_idempotent_when_head_present(self):
+        tgd = hospital_tgd()
+        query = CQ(
+            head=(Var("d"),),
+            body=(Atom("PatientConditions", (Const(1), Var("d"))),),
+        )
+        once = chase(query, [tgd])
+        twice = chase(once, [tgd])
+        assert len(twice.body) == len(once.body)
+
+    def test_no_match_no_change(self):
+        query = CQ(head=(Var("x"),), body=(Atom("Other", (Var("x"),)),))
+        chased = chase(query, [hospital_tgd()])
+        assert chased.body == query.body
+
+    def test_step_bound_respected(self):
+        # A self-feeding TGD would chase forever; the bound stops it.
+        growing = TGD(
+            body=(Atom("E", (Var("x"), Var("y"))),),
+            head=(Atom("E", (Var("y"), Var("z"))),),
+        )
+        query = CQ(head=(), body=(Atom("E", (Const(0), Const(1))),))
+        chased = chase(query, [growing], max_steps=5)
+        assert len(chased.body) <= 7
+
+    def test_multiple_frontier_matches(self):
+        tgd = hospital_tgd()
+        query = CQ(
+            head=(),
+            body=(
+                Atom("PatientConditions", (Const(1), Const("flu"))),
+                Atom("PatientConditions", (Const(2), Const("tb"))),
+            ),
+        )
+        chased = chase(query, [tgd])
+        patients = [a for a in chased.body if a.rel == "Patients"]
+        assert len(patients) == 2

@@ -1,0 +1,126 @@
+"""Constraint-closure tests: consistency and implication."""
+
+from repro.relalg.constraints import ConstraintSet
+from repro.relalg.cq import Comp, Const, Param, Var
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+def cs(*comps):
+    return ConstraintSet(comps)
+
+
+class TestConsistency:
+    def test_empty_is_consistent(self):
+        assert cs().consistent()
+
+    def test_equal_distinct_constants_inconsistent(self):
+        assert not cs(Comp("=", x, Const(1)), Comp("=", x, Const(2))).consistent()
+
+    def test_neq_same_var_inconsistent(self):
+        assert not cs(Comp("!=", x, x)).consistent()
+
+    def test_neq_through_equality_inconsistent(self):
+        assert not cs(Comp("=", x, y), Comp("!=", x, y)).consistent()
+
+    def test_strict_cycle_inconsistent(self):
+        assert not cs(Comp("<", x, y), Comp("<=", y, x)).consistent()
+
+    def test_nonstrict_cycle_consistent(self):
+        assert cs(Comp("<=", x, y), Comp("<=", y, x)).consistent()
+
+    def test_constant_violation_inconsistent(self):
+        assert not cs(Comp("<", Const(5), Const(3))).consistent()
+
+    def test_const_sandwich_inconsistent(self):
+        assert not cs(
+            Comp("<=", Const(5), x), Comp("<", x, Const(5))
+        ).consistent()
+
+    def test_order_on_null_inconsistent(self):
+        assert not cs(Comp("<", x, Const(None))).consistent()
+
+    def test_null_equality_consistent(self):
+        assert cs(Comp("=", x, Const(None))).consistent()
+
+    def test_two_params_may_be_equal(self):
+        assert cs(Comp("=", Param("A"), Param("B"))).consistent()
+
+
+class TestEquality:
+    def test_transitive_equality(self):
+        closure = cs(Comp("=", x, y), Comp("=", y, z))
+        assert closure.equal(x, z)
+
+    def test_var_pinned_to_constant(self):
+        closure = cs(Comp("=", x, Const(3)))
+        assert closure.equal(x, Const(3))
+        assert closure.canon(x) == Const(3)
+
+    def test_sandwich_equality(self):
+        closure = cs(Comp("<=", x, y), Comp("<=", y, x))
+        assert closure.equal(x, y)
+
+    def test_params_never_provably_equal(self):
+        closure = cs()
+        assert not closure.equal(Param("A"), Param("B"))
+
+    def test_same_param_equal(self):
+        assert cs().equal(Param("A"), Param("A"))
+
+
+class TestOrderImplication:
+    def test_direct(self):
+        assert cs(Comp("<", x, y)).implies(Comp("<", x, y))
+
+    def test_strict_implies_nonstrict(self):
+        assert cs(Comp("<", x, y)).implies(Comp("<=", x, y))
+
+    def test_nonstrict_does_not_imply_strict(self):
+        assert not cs(Comp("<=", x, y)).implies(Comp("<", x, y))
+
+    def test_transitive_with_strictness(self):
+        closure = cs(Comp("<=", x, y), Comp("<", y, z))
+        assert closure.implies(Comp("<", x, z))
+
+    def test_through_constants(self):
+        closure = cs(Comp("<=", x, Const(3)), Comp("<=", Const(5), y))
+        assert closure.implies(Comp("<", x, y))
+
+    def test_external_constant_lower_bound(self):
+        # 60 <= x implies 18 <= x even though 18 is not in the set.
+        closure = cs(Comp("<=", Const(60), x))
+        assert closure.implies(Comp("<=", Const(18), x))
+        assert closure.implies(Comp("<", Const(18), x))
+
+    def test_external_constant_upper_bound(self):
+        closure = cs(Comp("<=", x, Const(10)))
+        assert closure.implies(Comp("<", x, Const(99)))
+
+    def test_unrelated_not_implied(self):
+        assert not cs(Comp("<", x, y)).implies(Comp("<", y, x))
+
+    def test_neq_from_strict_order(self):
+        assert cs(Comp("<", x, y)).implies(Comp("!=", x, y))
+
+    def test_neq_from_distinct_constants(self):
+        closure = cs(Comp("=", x, Const(1)), Comp("=", y, Const(2)))
+        assert closure.implies(Comp("!=", x, y))
+
+    def test_inconsistent_implies_everything(self):
+        closure = cs(Comp("<", x, x))
+        assert closure.implies(Comp("=", x, y))
+
+
+class TestStringConstants:
+    def test_string_equality(self):
+        closure = cs(Comp("=", x, Const("abc")))
+        assert closure.equal(x, Const("abc"))
+
+    def test_string_order(self):
+        closure = cs(Comp("<=", Const("b"), x))
+        assert closure.implies(Comp("<", Const("a"), x))
+
+    def test_mixed_type_constants_not_comparable(self):
+        closure = cs(Comp("=", x, Const("a")), Comp("=", y, Const(1)))
+        assert closure.implies(Comp("!=", x, y))

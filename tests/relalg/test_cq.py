@@ -1,0 +1,112 @@
+"""CQ data-structure tests."""
+
+import pytest
+
+from repro.relalg.cq import (
+    CQ,
+    UCQ,
+    Atom,
+    Comp,
+    Const,
+    Param,
+    Var,
+    fresh_var_factory,
+)
+from repro.util.errors import DbacError
+
+
+class TestTerms:
+    def test_terms_hashable_and_equal(self):
+        assert Var("x") == Var("x")
+        assert Const(1) == Const(1)
+        assert Param("A") == Param("A")
+        assert len({Var("x"), Var("x"), Var("y")}) == 2
+
+    def test_const_none_distinct_from_zero(self):
+        assert Const(None) != Const(0)
+
+
+class TestComp:
+    def test_normalized_gt(self):
+        comp = Comp.normalized(">", Var("x"), Const(5))
+        assert comp == Comp("<", Const(5), Var("x"))
+
+    def test_normalized_gte(self):
+        comp = Comp.normalized(">=", Var("x"), Const(5))
+        assert comp == Comp("<=", Const(5), Var("x"))
+
+    def test_normalized_ne(self):
+        assert Comp.normalized("<>", Var("x"), Var("y")).op == "!="
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(DbacError):
+            Comp.normalized("~", Var("x"), Var("y"))
+
+
+class TestCQ:
+    def test_variables_collects_all_positions(self):
+        query = CQ(
+            head=(Var("h"),),
+            body=(Atom("R", (Var("a"), Var("b"))),),
+            comps=(Comp("<", Var("c"), Const(1)),),
+        )
+        assert query.variables() == {Var("h"), Var("a"), Var("b"), Var("c")}
+
+    def test_params_collected(self):
+        query = CQ(
+            head=(Param("P"),),
+            body=(Atom("R", (Var("a"), Param("Q"))),),
+            comps=(Comp("=", Var("a"), Param("R")),),
+        )
+        assert {p.name for p in query.params()} == {"P", "Q", "R"}
+
+    def test_substitute(self):
+        query = CQ(head=(Var("x"),), body=(Atom("R", (Var("x"), Var("y"))),))
+        out = query.substitute({Var("x"): Const(1)})
+        assert out.head == (Const(1),)
+        assert out.body[0].args[0] == Const(1)
+
+    def test_instantiate_params(self):
+        query = CQ(
+            head=(Var("x"),),
+            body=(Atom("R", (Var("x"), Param("MyUId"))),),
+        )
+        out = query.instantiate({"MyUId": 7})
+        assert out.body[0].args[1] == Const(7)
+
+    def test_instantiate_leaves_unknown_params(self):
+        query = CQ(head=(Param("Other"),), body=(Atom("T", (Var("x"),)),))
+        assert query.instantiate({"MyUId": 7}).head == (Param("Other"),)
+
+    def test_rename_apart(self):
+        query = CQ(head=(Var("x"),), body=(Atom("R", (Var("x"), Var("y"))),))
+        renamed = query.rename_apart({"x"})
+        assert Var("x") not in renamed.variables()
+        assert len(renamed.variables()) == 2
+
+    def test_head_names_must_align(self):
+        with pytest.raises(DbacError):
+            CQ(head=(Var("x"),), body=(), head_names=("a", "b"))
+
+
+class TestUCQ:
+    def test_empty_rejected(self):
+        with pytest.raises(DbacError):
+            UCQ(())
+
+    def test_arity_mismatch_rejected(self):
+        one = CQ(head=(Var("x"),), body=(Atom("T", (Var("x"),)),))
+        two = CQ(head=(Var("x"), Var("y")), body=(Atom("R", (Var("x"), Var("y"))),))
+        with pytest.raises(DbacError):
+            UCQ((one, two))
+
+    def test_of_coerces(self):
+        cq = CQ(head=(Var("x"),), body=(Atom("T", (Var("x"),)),))
+        assert UCQ.of(cq).disjuncts == (cq,)
+        assert UCQ.of(UCQ.of(cq)).disjuncts == (cq,)
+
+
+def test_fresh_var_factory_unique():
+    fresh = fresh_var_factory("t")
+    names = {fresh().name for _ in range(100)}
+    assert len(names) == 100

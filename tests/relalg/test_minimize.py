@@ -1,0 +1,96 @@
+"""CQ minimization (core) tests."""
+
+from repro.relalg.containment import equivalent
+from repro.relalg.cq import CQ, Atom, Comp, Const, Var
+from repro.relalg.minimize import minimize_cq, minimize_ucq
+from repro.relalg.translate import translate_select
+from repro.sqlir.parser import parse_select
+
+
+def tr1(sql, schema):
+    return translate_select(parse_select(sql), schema).disjuncts[0]
+
+
+class TestMinimizeCQ:
+    def test_redundant_atom_removed(self):
+        # Q(x) :- R(x, y), R(x, z) minimizes to a single atom.
+        query = CQ(
+            head=(Var("x"),),
+            body=(Atom("R", (Var("x"), Var("y"))), Atom("R", (Var("x"), Var("z")))),
+        )
+        core = minimize_cq(query)
+        assert len(core.body) == 1
+        assert equivalent(core, query)
+
+    def test_non_redundant_join_kept(self, dict_schema):
+        query = tr1("SELECT R.a FROM R JOIN S ON R.b = S.b", dict_schema)
+        core = minimize_cq(query)
+        assert len(core.body) == 2
+
+    def test_head_variable_never_orphaned(self):
+        # Both atoms bind head vars; neither can go.
+        query = CQ(
+            head=(Var("x"), Var("w")),
+            body=(Atom("R", (Var("x"), Var("y"))), Atom("R", (Var("w"), Var("y")))),
+        )
+        core = minimize_cq(query)
+        assert {t for t in core.head} <= core.body_variables()
+
+    def test_duplicate_atom_collapsed_with_dangling_comp_rewritten(self):
+        # Two copies of R(x, y) guarded by equal comps; one copy plus the
+        # comps rewritten onto surviving vars.
+        query = CQ(
+            head=(Var("x"),),
+            body=(
+                Atom("R", (Var("x"), Var("y"))),
+                Atom("R", (Var("x2"), Var("y2"))),
+            ),
+            comps=(
+                Comp("=", Var("x"), Var("x2")),
+                Comp("=", Var("y"), Var("y2")),
+                Comp("=", Var("y2"), Const(3)),
+            ),
+        )
+        core = minimize_cq(query)
+        assert len(core.body) == 1
+        assert equivalent(core, query)
+
+    def test_implied_comp_dropped(self):
+        query = CQ(
+            head=(Var("x"),),
+            body=(Atom("T", (Var("x"),)),),
+            comps=(
+                Comp("<", Var("x"), Const(10)),
+                Comp("<", Var("x"), Const(20)),  # implied by the first
+            ),
+        )
+        core = minimize_cq(query)
+        assert len(core.comps) == 1
+
+    def test_minimization_preserves_equivalence(self, dict_schema):
+        query = tr1(
+            "SELECT e.Title FROM Events e JOIN Attendance a ON e.EId = a.EId"
+            " JOIN Attendance b ON e.EId = b.EId WHERE a.UId = 1 AND b.UId = 1",
+            dict_schema,
+        )
+        core = minimize_cq(query)
+        assert equivalent(core, query)
+        assert len(core.body) == 2  # the duplicate Attendance join folds
+
+
+class TestMinimizeUCQ:
+    def test_subsumed_disjunct_dropped(self, dict_schema):
+        union = translate_select(
+            parse_select("SELECT a FROM R WHERE b = 1 OR b = 1 OR b = 2"),
+            dict_schema,
+        )
+        minimized = minimize_ucq(union)
+        assert len(minimized.disjuncts) == 2
+
+    def test_disjunct_contained_in_other_dropped(self, dict_schema):
+        from repro.relalg.cq import UCQ
+
+        narrow = tr1("SELECT a FROM R WHERE b = 1", dict_schema)
+        broad = tr1("SELECT a FROM R", dict_schema)
+        minimized = minimize_ucq(UCQ((narrow, broad)))
+        assert len(minimized.disjuncts) == 1

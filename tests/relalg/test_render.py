@@ -1,0 +1,88 @@
+"""CQ → SQL rendering tests."""
+
+import pytest
+
+from repro.relalg.containment import equivalent
+from repro.relalg.cq import CQ, Atom, Comp, Const, Param, Var
+from repro.relalg.render import cq_to_select, cq_to_sql
+from repro.relalg.translate import translate_select
+from repro.sqlir.parser import parse_select
+from repro.util.errors import DbacError
+
+
+def tr1(sql, schema):
+    return translate_select(parse_select(sql), schema).disjuncts[0]
+
+
+RENDER_CASES = [
+    "SELECT a FROM R",
+    "SELECT a FROM R WHERE b = 3",
+    "SELECT R.a FROM R JOIN S ON R.b = S.b WHERE S.c = 7",
+    "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+    "SELECT Name FROM Employees WHERE Age >= 60",
+    "SELECT e.Title FROM Events e JOIN Attendance a ON e.EId = a.EId"
+    " WHERE a.UId = ?MyUId",
+    "SELECT a FROM R WHERE b IS NULL",
+    "SELECT a FROM R WHERE b <> 4",
+]
+
+
+@pytest.mark.parametrize("sql", RENDER_CASES)
+def test_render_roundtrip_equivalence(sql, dict_schema):
+    """translate → render → translate yields an equivalent query."""
+    original = tr1(sql, dict_schema)
+    rendered = cq_to_select(original, dict_schema)
+    back = translate_select(rendered, dict_schema).disjuncts[0]
+    # Pin params so they unify by name on both sides.
+    bindings = {p.name: f"\x00{p.name}" for p in original.params()}
+    assert equivalent(original.instantiate(bindings), back.instantiate(bindings))
+
+
+class TestRenderDetails:
+    def test_repeated_var_renders_join_equality(self, dict_schema):
+        query = CQ(
+            head=(Var("x"),),
+            body=(Atom("R", (Var("x"), Var("y"))), Atom("S", (Var("y"), Var("z")))),
+        )
+        sql = cq_to_sql(query, dict_schema)
+        assert "t0.b = t1.b" in sql
+
+    def test_const_arg_renders_predicate(self, dict_schema):
+        query = CQ(head=(Var("x"),), body=(Atom("R", (Var("x"), Const(3))),))
+        sql = cq_to_sql(query, dict_schema)
+        assert "t0.b = 3" in sql
+
+    def test_null_arg_renders_is_null(self, dict_schema):
+        query = CQ(head=(Var("x"),), body=(Atom("R", (Var("x"), Const(None))),))
+        sql = cq_to_sql(query, dict_schema)
+        assert "IS NULL" in sql
+
+    def test_param_arg_renders_named_param(self, dict_schema):
+        query = CQ(head=(Var("x"),), body=(Atom("R", (Var("x"), Param("MyUId"))),))
+        assert "?MyUId" in cq_to_sql(query, dict_schema)
+
+    def test_head_alias_applied(self, dict_schema):
+        query = CQ(
+            head=(Var("x"),),
+            body=(Atom("R", (Var("x"), Var("y"))),),
+            head_names=("renamed",),
+        )
+        assert "AS renamed" in cq_to_sql(query, dict_schema)
+
+    def test_dangling_head_var_rejected(self, dict_schema):
+        query = CQ(head=(Var("nowhere"),), body=(Atom("T", (Var("x"),)),))
+        with pytest.raises(DbacError):
+            cq_to_sql(query, dict_schema)
+
+    def test_unknown_relation_rejected(self, dict_schema):
+        query = CQ(head=(Var("x"),), body=(Atom("Nope", (Var("x"),)),))
+        with pytest.raises(DbacError):
+            cq_to_sql(query, dict_schema)
+
+    def test_neq_renders_angle_brackets(self, dict_schema):
+        query = CQ(
+            head=(Var("x"),),
+            body=(Atom("T", (Var("x"),)),),
+            comps=(Comp("!=", Var("x"), Const(4)),),
+        )
+        assert "<> 4" in cq_to_sql(query, dict_schema)

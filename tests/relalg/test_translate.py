@@ -1,0 +1,116 @@
+"""SQL → CQ translation tests."""
+
+import pytest
+
+from repro.relalg.cq import Comp, Const, Param, Var
+from repro.relalg.translate import translate_select
+from repro.sqlir.parser import parse_select
+from repro.util.errors import TranslationError
+
+
+def tr(sql, schema):
+    return translate_select(parse_select(sql), schema)
+
+
+class TestBasics:
+    def test_single_table(self, dict_schema):
+        ucq = tr("SELECT a FROM R", dict_schema)
+        assert len(ucq.disjuncts) == 1
+        cq = ucq.disjuncts[0]
+        assert cq.head == (Var("R.a"),)
+        assert cq.body[0].rel == "R"
+        assert cq.head_names == ("a",)
+
+    def test_star_expansion(self, dict_schema):
+        cq = tr("SELECT * FROM Events", dict_schema).disjuncts[0]
+        assert len(cq.head) == 4
+        assert cq.head_names == ("EId", "Title", "Time", "Loc")
+
+    def test_join_condition_becomes_comp(self, dict_schema):
+        cq = tr(
+            "SELECT 1 FROM Events e JOIN Attendance a ON e.EId = a.EId",
+            dict_schema,
+        ).disjuncts[0]
+        assert Comp("=", Var("e.EId"), Var("a.EId")) in cq.comps
+
+    def test_constant_in_select_list(self, dict_schema):
+        cq = tr("SELECT 1 FROM R", dict_schema).disjuncts[0]
+        assert cq.head == (Const(1),)
+
+    def test_named_param_becomes_param_term(self, dict_schema):
+        cq = tr("SELECT a FROM R WHERE b = ?MyUId", dict_schema).disjuncts[0]
+        assert Comp("=", Var("R.b"), Param("MyUId")) in cq.comps
+
+    def test_positional_param_label(self, dict_schema):
+        cq = tr("SELECT a FROM R WHERE b = ?", dict_schema).disjuncts[0]
+        assert Comp("=", Var("R.b"), Param("$0")) in cq.comps
+
+    def test_unqualified_ambiguous_column_rejected(self, dict_schema):
+        with pytest.raises(TranslationError):
+            tr("SELECT b FROM R, S", dict_schema)
+
+    def test_unknown_table_rejected(self, dict_schema):
+        with pytest.raises(TranslationError):
+            tr("SELECT a FROM Nope", dict_schema)
+
+    def test_unknown_column_rejected(self, dict_schema):
+        with pytest.raises(TranslationError):
+            tr("SELECT zz FROM R", dict_schema)
+
+
+class TestPredicates:
+    def test_comparison_normalization(self, dict_schema):
+        cq = tr("SELECT a FROM R WHERE a > 5", dict_schema).disjuncts[0]
+        assert Comp("<", Const(5), Var("R.a")) in cq.comps
+
+    def test_or_produces_ucq(self, dict_schema):
+        ucq = tr("SELECT a FROM R WHERE a = 1 OR a = 2", dict_schema)
+        assert len(ucq.disjuncts) == 2
+
+    def test_in_list_produces_ucq(self, dict_schema):
+        ucq = tr("SELECT a FROM R WHERE a IN (1, 2, 3)", dict_schema)
+        assert len(ucq.disjuncts) == 3
+
+    def test_not_in_stays_single(self, dict_schema):
+        ucq = tr("SELECT a FROM R WHERE a NOT IN (1, 2)", dict_schema)
+        assert len(ucq.disjuncts) == 1
+        comps = ucq.disjuncts[0].comps
+        assert Comp("!=", Var("R.a"), Const(1)) in comps
+        assert Comp("!=", Var("R.a"), Const(2)) in comps
+
+    def test_is_null(self, dict_schema):
+        cq = tr("SELECT a FROM R WHERE b IS NULL", dict_schema).disjuncts[0]
+        assert Comp("=", Var("R.b"), Const(None)) in cq.comps
+
+    def test_not_pushed_through_and(self, dict_schema):
+        ucq = tr("SELECT a FROM R WHERE NOT (a = 1 AND b = 2)", dict_schema)
+        assert len(ucq.disjuncts) == 2
+
+    def test_distributed_and_over_or(self, dict_schema):
+        ucq = tr(
+            "SELECT a FROM R WHERE (a = 1 OR a = 2) AND (b = 3 OR b = 4)",
+            dict_schema,
+        )
+        assert len(ucq.disjuncts) == 4
+
+    def test_order_by_and_limit_dropped(self, dict_schema):
+        ucq = tr("SELECT a FROM R ORDER BY a LIMIT 5", dict_schema)
+        assert len(ucq.disjuncts) == 1
+
+
+class TestRejections:
+    def test_left_join_rejected(self, dict_schema):
+        with pytest.raises(TranslationError):
+            tr("SELECT 1 FROM R LEFT JOIN S ON R.b = S.b", dict_schema)
+
+    def test_count_rejected(self, dict_schema):
+        with pytest.raises(TranslationError):
+            tr("SELECT COUNT(*) FROM R", dict_schema)
+
+    def test_arithmetic_predicate_rejected(self, dict_schema):
+        with pytest.raises(TranslationError):
+            tr("SELECT a FROM R WHERE a + 1 = 2", dict_schema)
+
+    def test_duplicate_alias_rejected(self, dict_schema):
+        with pytest.raises(TranslationError):
+            tr("SELECT 1 FROM R x, S x", dict_schema)

@@ -1,0 +1,63 @@
+"""Parameter collection and binding tests."""
+
+import pytest
+
+from repro.sqlir import ast
+from repro.sqlir.params import bind_parameters, collect_parameters
+from repro.sqlir.parser import parse_sql
+from repro.sqlir.printer import to_sql
+from repro.util.errors import DbacError
+
+
+class TestCollect:
+    def test_positional_and_named(self):
+        stmt = parse_sql("SELECT 1 FROM t WHERE a = ? AND b = ?MyUId AND c = ?")
+        positional, named = collect_parameters(stmt)
+        assert positional == [0, 1]
+        assert named == ["MyUId"]
+
+    def test_named_dedup_keeps_order(self):
+        stmt = parse_sql("SELECT 1 FROM t WHERE a = ?B AND b = ?A AND c = ?B")
+        _, named = collect_parameters(stmt)
+        assert named == ["B", "A"]
+
+    def test_no_parameters(self):
+        assert collect_parameters(parse_sql("SELECT 1 FROM t")) == ([], [])
+
+
+class TestBind:
+    def test_bind_positional(self):
+        stmt = parse_sql("SELECT 1 FROM t WHERE a = ? AND b = ?")
+        bound = bind_parameters(stmt, [5, "x"])
+        assert to_sql(bound) == "SELECT 1 FROM t WHERE a = 5 AND b = 'x'"
+
+    def test_bind_named(self):
+        stmt = parse_sql("SELECT 1 FROM t WHERE a = ?MyUId")
+        bound = bind_parameters(stmt, named={"MyUId": 7})
+        assert to_sql(bound) == "SELECT 1 FROM t WHERE a = 7"
+
+    def test_bind_none_becomes_null(self):
+        stmt = parse_sql("SELECT 1 FROM t WHERE a = ?")
+        bound = bind_parameters(stmt, [None])
+        assert to_sql(bound) == "SELECT 1 FROM t WHERE a = NULL"
+
+    def test_missing_positional_raises(self):
+        stmt = parse_sql("SELECT 1 FROM t WHERE a = ? AND b = ?")
+        with pytest.raises(DbacError):
+            bind_parameters(stmt, [1])
+
+    def test_missing_named_raises(self):
+        stmt = parse_sql("SELECT 1 FROM t WHERE a = ?X")
+        with pytest.raises(DbacError):
+            bind_parameters(stmt)
+
+    def test_unsupported_value_type_raises(self):
+        stmt = parse_sql("SELECT 1 FROM t WHERE a = ?")
+        with pytest.raises(DbacError):
+            bind_parameters(stmt, [object()])
+
+    def test_bind_inside_insert(self):
+        stmt = parse_sql("INSERT INTO t VALUES (?, ?)")
+        bound = bind_parameters(stmt, [1, "x"])
+        assert isinstance(bound, ast.Insert)
+        assert bound.rows[0] == (ast.Literal(1), ast.Literal("x"))

@@ -1,0 +1,214 @@
+"""Parser tests: statements, expressions, and error positions."""
+
+import pytest
+
+from repro.sqlir import ast
+from repro.sqlir.parser import parse_expression, parse_sql, parse_select
+from repro.util.errors import ParseError, UnsupportedSqlError
+
+
+class TestSelect:
+    def test_simple_select(self):
+        stmt = parse_sql("SELECT a FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.items == (ast.SelectItem(ast.Column(None, "a")),)
+        assert stmt.sources == (ast.TableRef("t", "t"),)
+
+    def test_star(self):
+        stmt = parse_select("SELECT * FROM t")
+        assert stmt.items[0].expr == ast.Star()
+
+    def test_qualified_star(self):
+        stmt = parse_select("SELECT e.* FROM Events e")
+        assert stmt.items[0].expr == ast.Star(table="e")
+
+    def test_alias_with_as(self):
+        stmt = parse_select("SELECT a AS x FROM t")
+        assert stmt.items[0].alias == "x"
+
+    def test_implicit_table_alias(self):
+        stmt = parse_select("SELECT a FROM Events e")
+        assert stmt.sources[0] == ast.TableRef("Events", "e")
+
+    def test_comma_join(self):
+        stmt = parse_select("SELECT 1 FROM r, s")
+        assert len(stmt.sources) == 2
+
+    def test_inner_join_on(self):
+        stmt = parse_select(
+            "SELECT 1 FROM Events e JOIN Attendance a ON e.EId = a.EId"
+        )
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].kind == "INNER"
+        assert isinstance(stmt.joins[0].on, ast.Comparison)
+
+    def test_left_join(self):
+        stmt = parse_select("SELECT 1 FROM r LEFT JOIN s ON r.b = s.b")
+        assert stmt.joins[0].kind == "LEFT"
+
+    def test_left_outer_join(self):
+        stmt = parse_select("SELECT 1 FROM r LEFT OUTER JOIN s ON r.b = s.b")
+        assert stmt.joins[0].kind == "LEFT"
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT a FROM t").distinct
+
+    def test_order_by_directions(self):
+        stmt = parse_select("SELECT a FROM t ORDER BY a DESC, b ASC, c")
+        assert [o.descending for o in stmt.order_by] == [True, False, False]
+
+    def test_limit(self):
+        assert parse_select("SELECT a FROM t LIMIT 5").limit == 5
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a FROM t LIMIT 'x'")
+
+    def test_count_star(self):
+        stmt = parse_select("SELECT COUNT(*) FROM t")
+        func = stmt.items[0].expr
+        assert isinstance(func, ast.FuncCall)
+        assert func.args == (ast.Star(),)
+
+    def test_count_distinct_column(self):
+        stmt = parse_select("SELECT COUNT(DISTINCT a) FROM t")
+        func = stmt.items[0].expr
+        assert isinstance(func, ast.FuncCall)
+        assert func.distinct
+
+
+class TestWhere:
+    def test_and_flattening(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE a = 1 AND b = 2 AND c = 3")
+        assert isinstance(stmt.where, ast.BoolOp)
+        assert stmt.where.op == "AND"
+        assert len(stmt.where.operands) == 3
+
+    def test_or_precedence(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE a = 1 AND b = 2 OR c = 3")
+        assert isinstance(stmt.where, ast.BoolOp)
+        assert stmt.where.op == "OR"
+
+    def test_parenthesized_or(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE a = 1 AND (b = 2 OR c = 3)")
+        assert stmt.where.op == "AND"
+
+    def test_not(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, ast.Not)
+
+    def test_in_list(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(stmt.where, ast.InList)
+        assert len(stmt.where.items) == 3
+
+    def test_not_in_list(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE a NOT IN (1, 2)")
+        assert stmt.where.negated
+
+    def test_is_null(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE a IS NULL")
+        assert isinstance(stmt.where, ast.IsNull)
+        assert not stmt.where.negated
+
+    def test_is_not_null(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE a IS NOT NULL")
+        assert stmt.where.negated
+
+    def test_between_desugars(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE a BETWEEN 1 AND 5")
+        assert isinstance(stmt.where, ast.BoolOp)
+        ops = [c.op for c in stmt.where.operands]
+        assert ops == [">=", "<="]
+
+    def test_negative_number_literal(self):
+        expr = parse_expression("-5")
+        assert expr == ast.Literal(-5)
+
+    def test_arithmetic(self):
+        expr = parse_expression("a + 2 * b")
+        assert isinstance(expr, ast.Arith)
+        assert expr.op == "+"
+        assert isinstance(expr.right, ast.Arith)
+
+
+class TestParameters:
+    def test_positional_numbering(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE a = ? AND b = ?")
+        params = [
+            node
+            for expr in ast.statement_expressions(stmt)
+            for node in ast.walk_expr(expr)
+            if isinstance(node, ast.Param)
+        ]
+        assert [p.index for p in params] == [0, 1]
+
+    def test_named_parameter(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE a = ?MyUId")
+        params = [
+            node
+            for expr in ast.statement_expressions(stmt)
+            for node in ast.walk_expr(expr)
+            if isinstance(node, ast.Param)
+        ]
+        assert params[0].name == "MyUId"
+
+
+class TestDml:
+    def test_insert_with_columns(self):
+        stmt = parse_sql("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, ast.Insert)
+        assert stmt.columns == ("a", "b")
+        assert len(stmt.rows) == 2
+
+    def test_insert_without_columns(self):
+        stmt = parse_sql("INSERT INTO t VALUES (1, NULL, TRUE)")
+        assert stmt.columns is None
+        assert stmt.rows[0][1] == ast.Literal(None)
+        assert stmt.rows[0][2] == ast.Literal(True)
+
+    def test_update(self):
+        stmt = parse_sql("UPDATE t SET a = 1, b = 'x' WHERE c = 2")
+        assert isinstance(stmt, ast.Update)
+        assert stmt.assignments[0] == ("a", ast.Literal(1))
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse_sql("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_delete_without_where(self):
+        assert parse_sql("DELETE FROM t").where is None
+
+    def test_create_table(self):
+        stmt = parse_sql(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT NOT NULL,"
+            " owner INT REFERENCES Users (UId))"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns[0].primary_key
+        assert not stmt.columns[1].nullable
+        assert stmt.columns[2].references == ("Users", "UId")
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT 1 FROM t extra nonsense")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT 1")
+
+    def test_error_position_reported(self):
+        with pytest.raises(ParseError) as err:
+            parse_sql("SELECT FROM t")
+        assert err.value.position is not None
+
+    def test_parse_select_rejects_insert(self):
+        with pytest.raises(UnsupportedSqlError):
+            parse_select("INSERT INTO t VALUES (1)")
+
+    def test_type_keyword_as_column_name(self):
+        stmt = parse_select("SELECT c.Time FROM Events c")
+        assert stmt.items[0].expr == ast.Column("c", "Time")

@@ -1,0 +1,63 @@
+"""Printer tests: canonical text and round-trip stability."""
+
+import pytest
+
+from repro.sqlir.parser import parse_expression, parse_sql
+from repro.sqlir.printer import to_sql
+
+ROUNDTRIP_STATEMENTS = [
+    "SELECT a FROM t",
+    "SELECT DISTINCT a, b AS x FROM t u",
+    "SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId WHERE a.UId = ?MyUId",
+    "SELECT 1 FROM t WHERE a = 1 AND (b = 2 OR c = 3)",
+    "SELECT a FROM t WHERE a IN (1, 2) ORDER BY a DESC LIMIT 3",
+    "SELECT a FROM t WHERE b IS NOT NULL",
+    "SELECT a FROM r LEFT JOIN s ON r.b = s.b",
+    "SELECT COUNT(*) FROM t",
+    "SELECT COUNT(DISTINCT a) FROM t",
+    "INSERT INTO t (a, b) VALUES (1, 'x''y'), (2, NULL)",
+    "UPDATE t SET a = 3 WHERE b = 'z'",
+    "DELETE FROM t WHERE a = 1",
+    "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT NOT NULL)",
+    "SELECT a FROM t WHERE NOT (b = 2 OR c < 3)",
+    "SELECT a FROM t WHERE x <> 'q'",
+]
+
+
+@pytest.mark.parametrize("sql", ROUNDTRIP_STATEMENTS)
+def test_roundtrip_fixpoint(sql):
+    """parse → print → parse → print is a fixpoint."""
+    once = to_sql(parse_sql(sql))
+    twice = to_sql(parse_sql(once))
+    assert once == twice
+
+
+@pytest.mark.parametrize("sql", ROUNDTRIP_STATEMENTS)
+def test_roundtrip_preserves_ast(sql):
+    stmt = parse_sql(sql)
+    assert parse_sql(to_sql(stmt)) == stmt
+
+
+class TestFormatting:
+    def test_string_quoting(self):
+        assert to_sql(parse_expression("'it''s'")) == "'it''s'"
+
+    def test_null_true_false(self):
+        assert to_sql(parse_expression("NULL")) == "NULL"
+        assert to_sql(parse_expression("TRUE")) == "TRUE"
+        assert to_sql(parse_expression("FALSE")) == "FALSE"
+
+    def test_alias_only_when_different(self):
+        assert to_sql(parse_sql("SELECT a FROM t t")) == "SELECT a FROM t"
+        assert to_sql(parse_sql("SELECT a FROM tbl x")) == "SELECT a FROM tbl x"
+
+    def test_or_inside_and_parenthesized(self):
+        sql = to_sql(parse_sql("SELECT 1 FROM t WHERE a = 1 AND (b = 2 OR c = 3)"))
+        assert "(b = 2 OR c = 3)" in sql
+
+    def test_named_parameter_printed(self):
+        assert to_sql(parse_expression("?MyUId")) == "?MyUId"
+
+    def test_positional_parameter_printed(self):
+        sql = to_sql(parse_sql("SELECT 1 FROM t WHERE a = ?"))
+        assert sql.endswith("a = ?")

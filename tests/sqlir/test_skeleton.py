@@ -1,0 +1,53 @@
+"""Skeleton (constant hollowing) tests."""
+
+from repro.sqlir import ast
+from repro.sqlir.parser import parse_sql
+from repro.sqlir.skeleton import fill, skeletonize
+
+
+class TestSkeletonize:
+    def test_constants_extracted_in_order(self):
+        stmt = parse_sql("SELECT 1 FROM t WHERE a = 5 AND b = 'x'")
+        skeleton = skeletonize(stmt)
+        # The select-list literal is also a constant slot.
+        assert skeleton.values == (1, 5, "x")
+
+    def test_same_shape_same_skeleton(self):
+        s1 = skeletonize(parse_sql("SELECT a FROM t WHERE b = 1"))
+        s2 = skeletonize(parse_sql("SELECT a FROM t WHERE b = 99"))
+        assert s1.statement == s2.statement
+
+    def test_different_shape_different_skeleton(self):
+        s1 = skeletonize(parse_sql("SELECT a FROM t WHERE b = 1"))
+        s2 = skeletonize(parse_sql("SELECT a FROM t WHERE c = 1"))
+        assert s1.statement != s2.statement
+
+    def test_null_and_booleans_stay(self):
+        stmt = parse_sql("SELECT a FROM t WHERE b IS NULL AND c = TRUE")
+        skeleton = skeletonize(stmt)
+        assert skeleton.values == ()
+
+    def test_generalizable_flags(self):
+        stmt = parse_sql("SELECT a FROM t WHERE b = 5 AND c >= 10")
+        skeleton = skeletonize(stmt)
+        assert skeleton.generalizable == (True, False)
+
+    def test_in_list_slots_generalizable(self):
+        stmt = parse_sql("SELECT a FROM t WHERE b IN (1, 2)")
+        skeleton = skeletonize(stmt)
+        assert skeleton.generalizable == (True, True)
+
+
+class TestFill:
+    def test_fill_restores_statement(self):
+        stmt = parse_sql("SELECT a FROM t WHERE b = 5 AND c = 'x'")
+        skeleton = skeletonize(stmt)
+        assert fill(skeleton, skeleton.values) == stmt
+
+    def test_fill_with_new_values(self):
+        stmt = parse_sql("SELECT a FROM t WHERE b = 5")
+        skeleton = skeletonize(stmt)
+        refilled = fill(skeleton, (42,))
+        assert isinstance(refilled, ast.Select)
+        comparison = refilled.where
+        assert comparison.right == ast.Literal(42)

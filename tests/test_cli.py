@@ -1,0 +1,149 @@
+"""CLI tests: each subcommand through main(argv)."""
+
+import pytest
+
+from repro.cli import main
+from repro.policy import policy_from_text
+from repro.workloads import calendar_app
+
+
+class TestDemo:
+    def test_demo_succeeds(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Q1 -> ALLOW" in out
+        assert "BLOCK" in out
+
+
+class TestExtract:
+    def test_symbolic_extract(self, capsys):
+        assert main(["extract", "--app", "calendar", "--method", "symbolic"]) == 0
+        out = capsys.readouterr().out
+        assert "?MyUId" in out
+        assert "precision=1.00 recall=1.00" in out
+
+    def test_mined_extract(self, capsys):
+        assert (
+            main(
+                [
+                    "extract",
+                    "--app",
+                    "calendar",
+                    "--method",
+                    "mine",
+                    "--traces",
+                    "60",
+                    "--size",
+                    "12",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "observed 60 traces" in out
+
+    def test_extract_writes_loadable_policy(self, tmp_path, capsys):
+        out_file = tmp_path / "policy.txt"
+        assert (
+            main(
+                [
+                    "extract",
+                    "--app",
+                    "calendar",
+                    "--method",
+                    "symbolic",
+                    "--out",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        schema = calendar_app.make_schema()
+        policy = policy_from_text(out_file.read_text(), schema)
+        assert len(policy) >= 4
+
+
+class TestEnforce:
+    def test_allow_and_block(self, capsys):
+        code = main(
+            [
+                "enforce",
+                "--app",
+                "calendar",
+                "--user",
+                "1",
+                "--sql",
+                "SELECT EId FROM Attendance WHERE UId = 1",
+                "--sql",
+                "SELECT * FROM Events",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ALLOW" in out
+        assert "BLOCK" in out
+
+
+class TestAudit:
+    def test_hospital_audit_detects_nqi(self, capsys):
+        code = main(
+            [
+                "audit",
+                "--app",
+                "hospital",
+                "--sensitive",
+                "SELECT Disease FROM PatientConditions WHERE PId = 1",
+                "--constraints",
+            ]
+        )
+        assert code == 1  # disclosure found
+        out = capsys.readouterr().out
+        assert "NQI holds" in out
+
+    def test_clean_audit_exits_zero(self, capsys):
+        code = main(
+            [
+                "audit",
+                "--app",
+                "hospital",
+                "--sensitive",
+                "SELECT Disease FROM PatientConditions WHERE PId = 1",
+            ]
+        )
+        assert code == 0
+        assert "no NQI witness" in capsys.readouterr().out
+
+    def test_bad_sensitive_query(self, capsys):
+        code = main(
+            ["audit", "--app", "hospital", "--sensitive", "SELECT nope FROM nowhere"]
+        )
+        assert code == 2
+
+
+class TestDiagnose:
+    def test_diagnosis_prints_patches(self, capsys):
+        code = main(
+            [
+                "diagnose",
+                "--app",
+                "calendar",
+                "--user",
+                "1",
+                "--sql",
+                "SELECT * FROM Events WHERE EId = 2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "access-check patch" in out
+        assert "counterexample" in out
+
+
+class TestParser:
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["extract", "--app", "nope"])
+
+    def test_missing_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,126 @@
+"""AppRunner harness tests."""
+
+import random
+
+import pytest
+
+from repro.enforce import DecisionCache
+from repro.workloads import calendar_app
+from repro.workloads.runner import AppRunner, Request
+
+
+@pytest.fixture
+def setup():
+    app = calendar_app.make_app()
+    db = calendar_app.make_database(10, 3)
+    return app, db
+
+
+class TestConnectionModes:
+    def test_unknown_mode_rejected(self, setup):
+        app, db = setup
+        with pytest.raises(ValueError):
+            AppRunner(app, db, mode="nope")
+
+    def test_proxy_mode_requires_policy(self, setup):
+        app, db = setup
+        with pytest.raises(ValueError):
+            AppRunner(app, db, mode="proxy")
+
+    def test_proxy_reused_per_session(self, setup):
+        app, db = setup
+        runner = AppRunner(
+            app, db, mode="proxy", policy=app.ground_truth_policy()
+        )
+        first = runner.connection_for({"user_id": 1})
+        second = runner.connection_for({"user_id": 1})
+        other = runner.connection_for({"user_id": 2})
+        assert first is second
+        assert first is not other
+        assert len(runner.proxies()) == 2
+
+    def test_fresh_session_per_request(self, setup):
+        app, db = setup
+        runner = AppRunner(
+            app,
+            db,
+            mode="proxy",
+            policy=app.ground_truth_policy(),
+            fresh_session_per_request=True,
+        )
+        first = runner.connection_for({"user_id": 1})
+        second = runner.connection_for({"user_id": 1})
+        assert first is not second
+
+    def test_history_disabled_propagates(self, setup):
+        app, db = setup
+        runner = AppRunner(
+            app,
+            db,
+            mode="proxy",
+            policy=app.ground_truth_policy(),
+            history_enabled=False,
+        )
+        uid, eid = db.query("SELECT UId, EId FROM Attendance").first()
+        outcome = runner.run(
+            Request("show_event", {"event_id": eid}, {"user_id": uid})
+        )
+        # With history off, the detail fetch inside show_event blocks.
+        assert outcome.blocked
+
+    def test_shared_cache_across_sessions(self, setup):
+        app, db = setup
+        policy = app.ground_truth_policy()
+        cache = DecisionCache(policy)
+        runner = AppRunner(app, db, mode="proxy", policy=policy, cache=cache)
+        requests = app.request_stream(db, random.Random(2), 30)
+        runner.run_all(requests)
+        assert cache.hits > 0
+
+
+class TestOutcomes:
+    def test_block_reason_captured(self, setup):
+        app, db = setup
+        gapped = type(app.ground_truth_policy())(
+            [v for v in app.ground_truth_policy().views if v.name != "V3"]
+        )
+        runner = AppRunner(app, db, mode="proxy", policy=gapped)
+        outcome = runner.run(Request("my_profile", {}, {"user_id": 1}))
+        assert outcome.blocked
+        assert "BLOCK" in outcome.block_reason
+
+    def test_abort_is_not_block(self, setup):
+        app, db = setup
+        runner = AppRunner(
+            app, db, mode="proxy", policy=app.ground_truth_policy()
+        )
+        attended = {
+            r[1] for r in db.query(
+                "SELECT UId, EId FROM Attendance WHERE UId = 1"
+            ).rows
+        }
+        eid = next(
+            e for (e,) in db.query("SELECT EId FROM Events").rows
+            if e not in attended
+        )
+        outcome = runner.run(
+            Request("show_event", {"event_id": eid}, {"user_id": 1})
+        )
+        assert not outcome.blocked
+        assert outcome.outcome is not None
+        assert outcome.outcome.aborted
+
+    def test_request_hashable(self):
+        a = Request("h", {"x": 1}, {"user_id": 2})
+        b = Request("h", {"x": 1}, {"user_id": 2})
+        assert hash(a) == hash(b)
+
+
+class TestSessionBindings:
+    def test_bindings_mapped_through_session_params(self, setup):
+        app, db = setup
+        assert app.session_bindings({"user_id": 9}) == {"MyUId": 9}
+
+    def test_missing_attr_omitted(self, setup):
+        app, db = setup
+        assert app.session_bindings({"other": 1}) == {}
