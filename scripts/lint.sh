@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Lint the repository (the `make lint` equivalent).
+#
+# Uses ruff (configured in pyproject.toml) when available; otherwise
+# falls back to a byte-compile pass so offline containers without ruff
+# still catch syntax errors and obvious breakage.
+set -eu
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    exec ruff check src tests benchmarks examples
+elif python -c 'import ruff' >/dev/null 2>&1; then
+    exec python -m ruff check src tests benchmarks examples
+else
+    echo "ruff not installed; falling back to compileall (syntax only)" >&2
+    exec python -m compileall -q src tests benchmarks examples
+fi

@@ -10,6 +10,8 @@
         "SELECT Disease FROM PatientConditions WHERE PId = 1" --constraints
     python -m repro diagnose --app calendar --user 1 --sql \\
         "SELECT * FROM Events WHERE EId = 2"
+    python -m repro serve-bench --app social --requests 500 --workers 8 \\
+        --write-every 20 --verify
 
 Every subcommand operates on one of the bundled workload applications
 (``--app calendar|hospital|employees|social``) and prints human-readable
@@ -185,6 +187,48 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if warnings else 0
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve import EnforcementGateway, GatewayConfig, WorkloadDriver
+
+    app, db = _load_app(args.app, args.size, args.seed)
+    policy = app.ground_truth_policy()
+    gateway = EnforcementGateway(
+        db,
+        policy,
+        GatewayConfig(
+            cache_mode=args.cache,
+            verify_cached_decisions=args.verify,
+        ),
+    )
+    driver = WorkloadDriver(
+        app, gateway, workers=args.workers, write_every=args.write_every
+    )
+    requests = app.request_stream(db, random.Random(args.seed), args.requests)
+    report = driver.run(requests)
+    print(
+        f"app={app.name} cache={args.cache} requests={report.requests}"
+        f" sessions={report.sessions} workers={report.workers}"
+    )
+    print(
+        f"throughput: {report.throughput_rps:.1f} req/s"
+        f" over {report.wall_seconds:.2f}s"
+    )
+    print(
+        f"outcomes: {report.completed} completed, {report.blocked} blocked,"
+        f" {report.aborted} aborted, {report.errors} errors,"
+        f" {report.writes} writes"
+    )
+    print(f"decision-cache hit rate: {report.hit_rate:.3f}")
+    assert report.metrics is not None
+    print(report.metrics.describe())
+    if args.verify:
+        disagreements = report.metrics.counters.get("cache_disagreements", 0)
+        verified = report.metrics.counters.get("cache_verified", 0)
+        print(f"cache verification: {disagreements} disagreements / {verified} hits")
+        return 1 if disagreements else 0
+    return 0
+
+
 def cmd_diagnose(args: argparse.Namespace) -> int:
     from repro.diagnose import diagnose
 
@@ -200,6 +244,13 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------------
 # Argument parsing
 # --------------------------------------------------------------------------
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -261,6 +312,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy-file", help="lint this policy file instead of the bundled one"
     )
     lint.set_defaults(func=cmd_lint)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="replay a workload through the multi-session gateway",
+    )
+    common(serve)
+    serve.add_argument(
+        "--users",
+        type=int,
+        default=None,
+        dest="size",
+        help="user population (alias for --size; apps scale data per user)",
+    )
+    serve.add_argument(
+        "--requests", type=_positive_int, default=300, help="stream length"
+    )
+    serve.add_argument(
+        "--workers", type=_positive_int, default=4, help="worker threads"
+    )
+    serve.add_argument(
+        "--write-every",
+        type=int,
+        default=0,
+        help="interleave a cache-invalidating write every N requests per session",
+    )
+    serve.add_argument(
+        "--cache",
+        choices=["shared", "per-session", "none"],
+        default="shared",
+        help="decision-cache configuration",
+    )
+    serve.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-check every cache hit with the full checker; exit 1 on disagreement",
+    )
+    serve.set_defaults(func=cmd_serve_bench)
 
     diag = sub.add_parser("diagnose", help="diagnose a blocked query (§5)")
     common(diag)

@@ -12,7 +12,7 @@ from repro.enforce.decision import Decision, PolicyViolation
 from repro.enforce.trace import Trace, TraceEntry
 from repro.enforce.checker import ComplianceChecker
 from repro.enforce.cache import DecisionCache
-from repro.enforce.proxy import EnforcementProxy, Session
+from repro.enforce.proxy import EnforcementProxy, ProxyConfig, ProxyStats, Session
 from repro.enforce.baselines import DirectConnection, RowLevelSecurityProxy
 
 __all__ = [
@@ -22,6 +22,8 @@ __all__ = [
     "DirectConnection",
     "EnforcementProxy",
     "PolicyViolation",
+    "ProxyConfig",
+    "ProxyStats",
     "RowLevelSecurityProxy",
     "Session",
     "Trace",

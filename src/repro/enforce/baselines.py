@@ -44,6 +44,9 @@ class DirectConnection:
     ) -> Result:
         return self.db.query(sql, args, named)
 
+    def close(self) -> None:
+        """Connection-protocol close; nothing per-connection to release."""
+
 
 class RowLevelSecurityProxy:
     """Query modification over per-table row predicates.
@@ -73,7 +76,7 @@ class RowLevelSecurityProxy:
         args: Sequence[object] = (),
         named: Mapping[str, object] | None = None,
     ) -> Result | int:
-        stmt = self.db._parse(sql)
+        stmt = self.db.parse(sql)
         if not isinstance(stmt, ast.Select):
             return self.db.sql(stmt, args, named)
         bound = bind_parameters(stmt, args, named)
@@ -91,6 +94,9 @@ class RowLevelSecurityProxy:
         if not isinstance(result, Result):
             raise EngineError("query() requires a SELECT statement")
         return result
+
+    def close(self) -> None:
+        """Connection-protocol close; nothing per-connection to release."""
 
     def _rewrite(self, stmt: ast.Select) -> ast.Select:
         """Conjoin each referenced table's predicate to the WHERE clause."""

@@ -48,6 +48,10 @@ class _Template:
     equality_pattern: tuple[tuple[int, ...], ...]  # partition of slots+params
     fact_patterns: tuple[tuple[str, tuple[_PatternArg, ...]], ...]
     reason: str
+    #: Base tables the decision touches: the query's own tables plus the
+    #: relations of every trace fact it relied on. Write-driven
+    #: invalidation (the serving gateway) evicts by this set.
+    tables: frozenset[str] = frozenset()
 
 
 class DecisionCache:
@@ -55,9 +59,10 @@ class DecisionCache:
 
     def __init__(self, policy: Policy):
         self._templates: dict[object, list[_Template]] = {}
-        self._view_constants = _constants_in_policy(policy)
+        self._view_constants = policy.constants()
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
 
     # -- lookup ---------------------------------------------------------------
 
@@ -128,18 +133,54 @@ class DecisionCache:
             if not skeleton.generalizable[index] or value in self._view_constants:
                 pinned.append((index, value))
         fact_patterns = []
+        tables = {ref.name for ref in stmt.tables()}
         for fact in decision.facts_used:
             fact_patterns.append(
                 (fact.rel, _pattern_of(fact, skeleton.values, param_items))
             )
+            tables.add(fact.rel)
         template = _Template(
             skeleton_key=skeleton.statement,
             pinned=tuple(pinned),
             equality_pattern=_equality_partition(skeleton.values, param_items),
             fact_patterns=tuple(fact_patterns),
             reason=decision.reason + " [template]",
+            tables=frozenset(tables),
         )
         self._templates.setdefault(skeleton.statement, []).append(template)
+
+    # -- invalidation ----------------------------------------------------------
+
+    def invalidate_table(self, table: str) -> int:
+        """Evict every template touching ``table``; returns the eviction count.
+
+        Decision soundness does not strictly require this (a decision
+        depends on the query's shape, the policy, and *certified* trace
+        facts, not on current table contents), but a serving deployment
+        wants freshly-written data vetted by a fresh check rather than a
+        months-old template, and conservative eviction keeps the cache
+        from accumulating templates for churned tables.
+        """
+        evicted = 0
+        for key in list(self._templates):
+            templates = self._templates[key]
+            kept = [t for t in templates if table not in t.tables]
+            if len(kept) == len(templates):
+                continue
+            evicted += len(templates) - len(kept)
+            if kept:
+                self._templates[key] = kept
+            else:
+                del self._templates[key]
+        self.invalidations += evicted
+        return evicted
+
+    def clear(self) -> int:
+        """Drop every template (counts as invalidation); returns the count."""
+        dropped = self.size
+        self._templates.clear()
+        self.invalidations += dropped
+        return dropped
 
     @property
     def size(self) -> int:
@@ -154,21 +195,6 @@ class DecisionCache:
 # --------------------------------------------------------------------------
 # Helpers
 # --------------------------------------------------------------------------
-
-
-def _constants_in_policy(policy: Policy) -> set[object]:
-    constants: set[object] = set()
-    for view in policy:
-        for disjunct in view.ucq.disjuncts:
-            for comp in disjunct.comps:
-                for term in (comp.left, comp.right):
-                    if isinstance(term, Const):
-                        constants.add(term.value)
-            for atom in disjunct.body:
-                for arg in atom.args:
-                    if isinstance(arg, Const):
-                        constants.add(arg.value)
-    return constants
 
 
 def _equality_partition(

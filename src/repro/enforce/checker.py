@@ -50,6 +50,10 @@ class ComplianceChecker:
         self.policy = policy
         self.history_enabled = history_enabled
         self.max_candidates = max_candidates
+        # Structural constants from the view definitions ("public", an
+        # age bound): worthless as connectivity evidence, since they link
+        # every fact mentioning them to every query mentioning them.
+        self._view_constants = policy.constants()
 
     def translate(self, stmt: ast.Select) -> UCQ | None:
         """The query's UCQ, or None when outside the reasoning fragment."""
@@ -192,11 +196,21 @@ class ComplianceChecker:
         — possibly via other facts (a Posts fact introduces the author id
         that a Friendships fact then connects to). Seed with the query's
         constants and the session bindings, then close transitively.
-        Most recent facts win within the cap.
+
+        Structural view constants are ignored as links: a value like
+        ``'friends'`` occurs in every friends-post fact, so reaching
+        through it floods the selection with unrelated facts and — under
+        the cap — crowds out the one guard fact that actually certifies
+        the query (observed at serving scale, where traces are long).
+        Within the cap, facts reached *directly* from the query beat
+        transitively-reached ones, most recent first.
         """
         from repro.relalg.cq import Const
 
-        reached: set[object] = {value for value in bindings.values()}
+        def informative(values: set[object]) -> set[object]:
+            return values - self._view_constants
+
+        reached: set[object] = informative(set(bindings.values()))
         for comp in disjunct.comps:
             for term in (comp.left, comp.right):
                 if isinstance(term, Const):
@@ -205,24 +219,36 @@ class ComplianceChecker:
             for arg in atom.args:
                 if isinstance(arg, Const):
                     reached.add(arg.value)
-        selected: list[Atom] = []
+        reached = informative(reached)
+        rounds: list[list[Atom]] = []
         remaining = list(facts)
         changed = True
         while changed:
             changed = False
+            matched: list[Atom] = []
             still_remaining = []
             for fact in remaining:
-                fact_consts = {
-                    arg.value for arg in fact.args if isinstance(arg, Const)
-                }
+                fact_consts = informative(
+                    {arg.value for arg in fact.args if isinstance(arg, Const)}
+                )
                 if fact_consts & reached:
-                    selected.append(fact)
+                    matched.append(fact)
                     if transitive:
                         reached |= fact_consts
                     changed = True
                 else:
                     still_remaining.append(fact)
+            if matched:
+                rounds.append(matched)
             remaining = still_remaining
             if not transitive:
                 break
-        return selected[-cap:]
+        selected: list[Atom] = []
+        quota = cap
+        for matched in rounds:
+            if quota <= 0:
+                break
+            take = matched[-quota:]
+            selected.extend(take)
+            quota -= len(take)
+        return selected

@@ -6,12 +6,16 @@ query and either executes it as-is or blocks it outright. It never
 modifies a query — the paper's first highlighted trait.
 
 Writes (INSERT/UPDATE/DELETE) pass through unchecked: the paper's setting
-controls *data revelation*; write control is an orthogonal concern.
+controls *data revelation*; write control is an orthogonal concern. The
+serving gateway hooks :meth:`EnforcementProxy._execute_write` to observe
+them anyway, because a write must invalidate shared decision templates
+that touch the written table.
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
@@ -38,24 +42,63 @@ class Session:
         return Session(bindings={param: user_id})
 
 
+@dataclass(frozen=True)
+class ProxyConfig:
+    """Everything configurable about an :class:`EnforcementProxy`.
+
+    One value object instead of a growing pile of constructor flags, so
+    the gateway can stamp out many identically-configured sessions and
+    new knobs don't ripple through every call site.
+
+    * ``history_enabled`` — conjoin certified trace facts into checks
+      (the Example 2.1 mechanism); disable for the no-history ablation.
+    * ``record_decisions`` — keep the most recent decisions on
+      ``stats.decisions`` for tooling (capped by ``decision_log_cap``).
+    * ``cache`` — a :class:`DecisionCache` (or shared subclass) to
+      consult before running the checker; ``None`` disables caching.
+    * ``decision_log_cap`` — ring-buffer size for recorded decisions.
+    """
+
+    history_enabled: bool = True
+    record_decisions: bool = False
+    cache: DecisionCache | None = None
+    decision_log_cap: int = 256
+
+
 @dataclass
 class ProxyStats:
-    """Counters a proxy accumulates over its lifetime."""
+    """Counters a proxy accumulates over its lifetime.
+
+    ``decisions`` is a bounded ring buffer (newest last): with
+    ``record_decisions`` on, an unbounded list would grow forever in a
+    long-lived serving session.
+    """
 
     allowed: int = 0
     blocked: int = 0
     cache_hits: int = 0
+    parse_seconds: float = 0.0
     check_seconds: float = 0.0
     execute_seconds: float = 0.0
-    decisions: list[Decision] = field(default_factory=list)
+    decisions: deque[Decision] = field(default_factory=lambda: deque(maxlen=256))
+
+    @staticmethod
+    def with_cap(decision_log_cap: int) -> "ProxyStats":
+        return ProxyStats(decisions=deque(maxlen=max(1, decision_log_cap)))
 
 
 class EnforcementProxy:
     """A per-session database connection with policy enforcement.
 
-    Exposes the same ``sql()`` / ``query()`` interface as
+    Implements the :class:`~repro.engine.connection.Connection` protocol
+    (``sql()`` / ``query()`` / ``close()``), same as
     :class:`~repro.engine.database.Database`, so application handlers run
     unmodified against either.
+
+    Configuration lives in :class:`ProxyConfig`. The individual keyword
+    arguments ``history_enabled``, ``cache``, and ``record_decisions``
+    are deprecated — still honored (they override the corresponding
+    ``config`` field) but new code should pass ``config=ProxyConfig(...)``.
     """
 
     def __init__(
@@ -63,20 +106,44 @@ class EnforcementProxy:
         db: Database,
         policy: Policy,
         session: Session,
-        history_enabled: bool = True,
+        config: ProxyConfig | None = None,
+        *,
+        history_enabled: bool | None = None,
         cache: DecisionCache | None = None,
-        record_decisions: bool = False,
+        record_decisions: bool | None = None,
     ):
+        base = config or ProxyConfig()
+        overrides = {}
+        if history_enabled is not None:
+            overrides["history_enabled"] = history_enabled
+        if cache is not None:
+            overrides["cache"] = cache
+        if record_decisions is not None:
+            overrides["record_decisions"] = record_decisions
+        if overrides:
+            from dataclasses import replace
+
+            base = replace(base, **overrides)
+        self.config = base
         self.db = db
         self.policy = policy
         self.session = session
         self.checker = ComplianceChecker(
-            db.schema, policy, history_enabled=history_enabled
+            db.schema, policy, history_enabled=base.history_enabled
         )
-        self.cache = cache
         self.trace = Trace()
-        self.stats = ProxyStats()
-        self.record_decisions = record_decisions
+        self.stats = ProxyStats.with_cap(base.decision_log_cap)
+        self._closed = False
+
+    # -- deprecated accessors (pre-ProxyConfig attribute names) -------------------
+
+    @property
+    def cache(self) -> DecisionCache | None:
+        return self.config.cache
+
+    @property
+    def record_decisions(self) -> bool:
+        return self.config.record_decisions
 
     # -- the application-facing API ----------------------------------------------
 
@@ -86,23 +153,31 @@ class EnforcementProxy:
         args: Sequence[object] = (),
         named: Mapping[str, object] | None = None,
     ) -> Result | int:
-        stmt = self.db._parse(sql)
+        if self._closed:
+            raise EngineError("connection is closed")
+        started = time.perf_counter()
+        stmt = self.db.parse(sql)
+        parse_seconds = time.perf_counter() - started
+        self.stats.parse_seconds += parse_seconds
+        self._record_stage("parse", parse_seconds)
         if not isinstance(stmt, ast.Select):
-            return self.db.sql(stmt, args, named)
+            return self._execute_write(stmt, args, named)
         bound = bind_parameters(stmt, args, named)
         assert isinstance(bound, ast.Select)
         decision = self.decide(bound)
         if not decision.allowed:
             self.stats.blocked += 1
-            if self.record_decisions:
+            if self.config.record_decisions:
                 self.stats.decisions.append(decision)
             raise PolicyViolation(decision)
         self.stats.allowed += 1
-        if self.record_decisions:
+        if self.config.record_decisions:
             self.stats.decisions.append(decision)
         started = time.perf_counter()
         result = self.db.sql(bound)
-        self.stats.execute_seconds += time.perf_counter() - started
+        execute_seconds = time.perf_counter() - started
+        self.stats.execute_seconds += execute_seconds
+        self._record_stage("execute", execute_seconds)
         assert isinstance(result, Result)
         query = self.checker.translate(bound)
         single = (
@@ -124,19 +199,54 @@ class EnforcementProxy:
             raise EngineError("query() requires a SELECT statement")
         return result
 
+    def close(self) -> None:
+        """Close the session: drop the trace and refuse further statements."""
+        self._closed = True
+
     # -- decisions ---------------------------------------------------------------
 
     def decide(self, bound: ast.Select) -> Decision:
         """Vet a bound SELECT (without executing it)."""
         started = time.perf_counter()
-        if self.cache is not None:
-            cached = self.cache.lookup(bound, self.session.bindings, self.trace)
+        cache = self.config.cache
+        # Only offer the trace to the cache when this session's checker
+        # would use history itself; otherwise a fact-dependent template
+        # could allow what the no-history checker would block.
+        trace = self.trace if self.config.history_enabled else None
+        if cache is not None:
+            cached = cache.lookup(bound, self.session.bindings, trace)
             if cached is not None:
                 self.stats.cache_hits += 1
-                self.stats.check_seconds += time.perf_counter() - started
+                seconds = time.perf_counter() - started
+                self.stats.check_seconds += seconds
+                self._record_stage("check", seconds)
+                self._observe_decision(cached, bound)
                 return cached
-        decision = self.checker.check(bound, self.session.bindings, self.trace)
-        if self.cache is not None:
-            self.cache.store(bound, self.session.bindings, decision)
-        self.stats.check_seconds += time.perf_counter() - started
+        decision = self.checker.check(bound, self.session.bindings, trace)
+        if cache is not None:
+            cache.store(bound, self.session.bindings, decision)
+        seconds = time.perf_counter() - started
+        self.stats.check_seconds += seconds
+        self._record_stage("check", seconds)
+        self._observe_decision(decision, bound)
         return decision
+
+    # -- subclass hooks (used by repro.serve) -------------------------------------
+
+    def _execute_write(
+        self,
+        stmt: ast.Statement,
+        args: Sequence[object],
+        named: Mapping[str, object] | None,
+    ) -> Result | int:
+        """Run a non-SELECT statement; the gateway overrides to invalidate."""
+        started = time.perf_counter()
+        outcome = self.db.sql(stmt, args, named)
+        self._record_stage("execute", time.perf_counter() - started)
+        return outcome
+
+    def _record_stage(self, stage: str, seconds: float) -> None:
+        """Per-stage latency observation point; no-op outside the gateway."""
+
+    def _observe_decision(self, decision: Decision, bound: ast.Select) -> None:
+        """Decision observation point; no-op outside the gateway."""

@@ -12,12 +12,14 @@ intercepts queries before execution.
 
 from repro.engine.types import ColumnType
 from repro.engine.schema import Column, ForeignKey, Schema, TableSchema
+from repro.engine.connection import Connection
 from repro.engine.database import Database
 from repro.engine.executor import Result
 
 __all__ = [
     "Column",
     "ColumnType",
+    "Connection",
     "Database",
     "ForeignKey",
     "Result",

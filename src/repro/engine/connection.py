@@ -1,0 +1,57 @@
+"""The backend-agnostic connection interface.
+
+Everything that serves application queries — the raw
+:class:`~repro.engine.database.Database`, the enforcement proxy, the RLS
+baseline, and gateway sessions — exposes the same three methods, so
+workload handlers and the serving layer never know (or care) which
+backend they talk to:
+
+* ``sql(sql, args, named)`` — parse, bind, and run one statement;
+  returns a :class:`~repro.engine.executor.Result` for SELECTs and an
+  affected-row count for writes.
+* ``query(sql, args, named)`` — like ``sql`` but asserts a SELECT.
+* ``close()`` — release per-connection state. Connections over the
+  in-memory engine hold no OS resources, so this is a semantic marker
+  (a closed connection refuses further statements where enforcement
+  state matters), but the protocol keeps call sites honest for future
+  backends that do hold sockets or file handles.
+
+The protocol is ``runtime_checkable`` so tests can assert conformance
+with ``isinstance``; structural typing means none of the implementations
+need to inherit from it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Protocol, runtime_checkable
+
+from repro.engine.executor import Result
+from repro.sqlir import ast
+
+
+@runtime_checkable
+class Connection(Protocol):
+    """What application code may assume about its database handle."""
+
+    def sql(
+        self,
+        sql: str | ast.Statement,
+        args: Sequence[object] = (),
+        named: Mapping[str, object] | None = None,
+    ) -> Result | int:
+        """Parse, bind, and execute one statement."""
+        ...  # pragma: no cover - protocol signature
+
+    def query(
+        self,
+        sql: str | ast.Statement,
+        args: Sequence[object] = (),
+        named: Mapping[str, object] | None = None,
+    ) -> Result:
+        """Like :meth:`sql` but asserts a SELECT and returns its Result."""
+        ...  # pragma: no cover - protocol signature
+
+    def close(self) -> None:
+        """Release per-connection state; further use is undefined."""
+        ...  # pragma: no cover - protocol signature

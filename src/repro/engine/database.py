@@ -50,7 +50,7 @@ class Database:
         named: Mapping[str, object] | None = None,
     ) -> Result | int:
         """Parse, bind, and execute one statement."""
-        stmt = self._parse(sql)
+        stmt = self.parse(sql)
         if isinstance(stmt, ast.CreateTable):
             self.create_table(Schema.from_create_statements([stmt]).table(stmt.name))
             return 0
@@ -69,7 +69,14 @@ class Database:
             raise EngineError("query() requires a SELECT statement")
         return result
 
-    def _parse(self, sql: str | ast.Statement) -> ast.Statement:
+    def parse(self, sql: str | ast.Statement) -> ast.Statement:
+        """Parse one statement, memoized per SQL text.
+
+        Public because every front end layered over the database — the
+        enforcement proxy, the RLS baseline, the serving gateway — needs
+        the parsed statement *before* deciding what to do with it, and
+        all of them should share one statement cache.
+        """
         if isinstance(sql, ast.Statement):
             return sql
         cached = self._statement_cache.get(sql)
@@ -77,6 +84,12 @@ class Database:
             cached = parse_sql(sql)
             self._statement_cache[sql] = cached
         return cached
+
+    # Backwards-compatible alias; prefer :meth:`parse`.
+    _parse = parse
+
+    def close(self) -> None:
+        """Connection-protocol close; the in-memory engine holds no handles."""
 
     def insert_rows(self, table: str, rows: Sequence[Sequence[object]]) -> int:
         """Bulk insert rows (schema column order) bypassing SQL parsing."""

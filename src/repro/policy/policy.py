@@ -69,6 +69,31 @@ class Policy:
                 defs.append(view.view_def(bindings))
         return defs
 
+    def constants(self) -> set[object]:
+        """Every constant appearing in a view definition.
+
+        These are *structural* values ("public", a status code, an age
+        bound) rather than data identifiers: the decision cache pins
+        template slots that collide with them, and the checker's
+        fact-selection heuristic ignores them when tracing which facts
+        are connected to a query (a shared structural constant links
+        everything to everything and carries no information).
+        """
+        from repro.relalg.cq import Const
+
+        found: set[object] = set()
+        for view in self:
+            for disjunct in view.ucq.disjuncts:
+                for comp in disjunct.comps:
+                    for term in (comp.left, comp.right):
+                        if isinstance(term, Const):
+                            found.add(term.value)
+                for atom in disjunct.body:
+                    for arg in atom.args:
+                        if isinstance(arg, Const):
+                            found.add(arg.value)
+        return found
+
     def with_view(self, view: View) -> "Policy":
         """A copy of this policy with one more view (for patch candidates)."""
         copy = Policy(self.views, name=self.name)

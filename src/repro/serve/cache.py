@@ -1,0 +1,98 @@
+"""The shared, write-invalidated decision cache.
+
+One :class:`SharedDecisionCache` serves every session of an
+:class:`~repro.serve.gateway.EnforcementGateway`: a decision template
+learned while vetting one user's query is immediately available to every
+other user whose query has the same shape.
+
+Why sharing is sound
+--------------------
+A stored template never names a concrete session. It captures the query
+skeleton, the *equality pattern* linking query constants to the session
+parameters (so "rows WHERE UId = me" only ever matches the requesting
+user asking about themselves), and — for history-dependent decisions —
+fact patterns that must be satisfied by certified facts **in the
+requesting session's own trace**. `lookup()` takes the caller's bindings
+and trace, so a template stored from user A's session can only allow
+user B's query when the identical decision would have been reached by
+running the checker for B directly:
+
+* a template with no fact patterns was justified by the policy alone
+  (for any session satisfying the equality pattern), and
+* a template with fact patterns requires B's trace to certify matching
+  facts — B must have *already been shown* the guard rows. A's history
+  never leaks into B's checks.
+
+Hence a shared cache hit never over-allows relative to the per-session
+checker; the E11 benchmark re-verifies this empirically on every run.
+
+Thread safety is a single lock around lookup/store/invalidate: template
+matching is pure in-memory work, orders of magnitude cheaper than the
+checker it replaces, so one lock does not bottleneck the worker pool
+(and under CPython's GIL a finer scheme would buy little).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable, Mapping
+
+from repro.enforce.cache import DecisionCache
+from repro.enforce.decision import Decision
+from repro.enforce.trace import Trace
+from repro.policy.policy import Policy
+from repro.sqlir import ast
+
+
+class SharedDecisionCache(DecisionCache):
+    """A :class:`DecisionCache` safe to share across concurrent sessions."""
+
+    def __init__(self, policy: Policy):
+        super().__init__(policy)
+        self._lock = threading.RLock()
+        self.stores = 0
+
+    def lookup(
+        self,
+        stmt: ast.Select,
+        bindings: Mapping[str, object],
+        trace: Trace | None,
+    ) -> Decision | None:
+        with self._lock:
+            return super().lookup(stmt, bindings, trace)
+
+    def store(
+        self,
+        stmt: ast.Select,
+        bindings: Mapping[str, object],
+        decision: Decision,
+    ) -> None:
+        with self._lock:
+            before = self.size
+            super().store(stmt, bindings, decision)
+            if self.size > before:
+                self.stores += 1
+
+    def invalidate_table(self, table: str) -> int:
+        with self._lock:
+            return super().invalidate_table(table)
+
+    def invalidate_tables(self, tables: Iterable[str]) -> int:
+        """Evict templates touching any of ``tables`` (one write's footprint)."""
+        with self._lock:
+            return sum(super(SharedDecisionCache, self).invalidate_table(t) for t in tables)
+
+    def clear(self) -> int:
+        with self._lock:
+            return super().clear()
+
+    def stats(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "size": self.size,
+                "stores": self.stores,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate,
+                "invalidations": self.invalidations,
+            }

@@ -1,0 +1,169 @@
+"""Worker-pool replay of application workloads through the gateway.
+
+Simulates a serving deployment: the request streams the workload apps
+already generate (calendar / hospital / employees / social) are
+partitioned by session principal, and a pool of worker threads replays
+them concurrently through gateway connections. A session's requests stay
+in order — history-dependent decisions (Example 2.1) require the guard
+query's answer to be in the trace before the fetch — but different
+sessions interleave freely across workers, which is exactly the traffic
+shape a shared decision cache has to be sound under.
+
+``write_every=k`` interleaves a data-identity write (``UPDATE t SET c =
+c``) after every k-th request of each session: it perturbs no data, so
+replayed decisions stay comparable, but it exercises the gateway's
+write-invalidation path under full concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.enforce.decision import PolicyViolation
+from repro.extract.handlers import run_handler
+from repro.serve.gateway import EnforcementGateway, GatewayConnection
+from repro.serve.metrics import MetricsSnapshot
+from repro.util.errors import DbacError
+from repro.workloads.runner import Request, WorkloadApp
+
+
+@dataclass
+class DriveReport:
+    """What one replay produced, aggregated across all workers."""
+
+    requests: int = 0
+    completed: int = 0
+    blocked: int = 0
+    aborted: int = 0
+    errors: int = 0
+    writes: int = 0
+    sessions: int = 0
+    workers: int = 0
+    wall_seconds: float = 0.0
+    metrics: MetricsSnapshot | None = None
+    hit_rate: float = 0.0
+    block_reasons: list[str] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.wall_seconds if self.wall_seconds else 0.0
+
+
+def no_op_write_for(app: WorkloadApp, gateway: EnforcementGateway) -> tuple[str, str]:
+    """A data-identity UPDATE on the app's first table: ``(sql, table)``."""
+    table_name = next(iter(gateway.db.schema.tables))
+    table_schema = gateway.db.schema.tables[table_name]
+    column = table_schema.columns[0].name
+    return f"UPDATE {table_name} SET {column} = {column}", table_name
+
+
+class WorkloadDriver:
+    """Replays request streams through a gateway with N worker threads."""
+
+    def __init__(
+        self,
+        app: WorkloadApp,
+        gateway: EnforcementGateway,
+        workers: int = 4,
+        write_every: int = 0,
+    ):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.app = app
+        self.gateway = gateway
+        self.workers = workers
+        self.write_every = write_every
+        self._write_sql: str | None = None
+        if write_every:
+            self._write_sql, _ = no_op_write_for(app, gateway)
+
+    def run(self, requests: Sequence[Request]) -> DriveReport:
+        """Replay ``requests``; returns the aggregated report."""
+        buckets = self._partition(requests)
+        queue: deque[list[Request]] = deque(buckets)
+        queue_lock = threading.Lock()
+        report = DriveReport(
+            requests=len(requests),
+            sessions=len(buckets),
+            workers=self.workers,
+        )
+        report_lock = threading.Lock()
+
+        def worker() -> None:
+            while True:
+                with queue_lock:
+                    if not queue:
+                        return
+                    bucket = queue.popleft()
+                self._run_bucket(bucket, report, report_lock)
+
+        threads = [
+            threading.Thread(target=worker, name=f"drive-worker-{i}")
+            for i in range(min(self.workers, max(len(buckets), 1)))
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        report.wall_seconds = time.perf_counter() - started
+        report.metrics = self.gateway.snapshot()
+        report.hit_rate = self.gateway.cache_hit_rate()
+        return report
+
+    # -- internals ---------------------------------------------------------------
+
+    def _partition(self, requests: Sequence[Request]) -> list[list[Request]]:
+        """Group by session principal, preserving each session's order."""
+        buckets: dict[tuple, list[Request]] = {}
+        for request in requests:
+            key = tuple(sorted(request.session.items()))
+            buckets.setdefault(key, []).append(request)
+        return list(buckets.values())
+
+    def _run_bucket(
+        self,
+        bucket: list[Request],
+        report: DriveReport,
+        report_lock: threading.Lock,
+    ) -> None:
+        connection: GatewayConnection | None = None
+        since_write = 0
+        for request in bucket:
+            if connection is None:
+                bindings = self.app.session_bindings(request.session)
+                connection = self.gateway.connect(bindings)
+            started = time.perf_counter()
+            try:
+                handler = self.app.handlers[request.handler]
+                outcome = run_handler(
+                    handler, connection, request.params, request.session
+                )
+                with report_lock:
+                    if outcome.aborted:
+                        report.aborted += 1
+                    else:
+                        report.completed += 1
+            except PolicyViolation as violation:
+                with report_lock:
+                    report.blocked += 1
+                    if len(report.block_reasons) < 32:
+                        report.block_reasons.append(str(violation))
+            except DbacError:
+                with report_lock:
+                    report.errors += 1
+            finally:
+                self.gateway.metrics.observe_stage(
+                    "request", time.perf_counter() - started
+                )
+            since_write += 1
+            if self.write_every and since_write >= self.write_every:
+                since_write = 0
+                assert self._write_sql is not None
+                connection.sql(self._write_sql)
+                with report_lock:
+                    report.writes += 1

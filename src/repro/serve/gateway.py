@@ -1,0 +1,264 @@
+"""The multi-session enforcement gateway.
+
+An :class:`EnforcementGateway` is the process-wide front door of a
+serving deployment: it owns the database handle, the policy, one
+:class:`~repro.serve.cache.SharedDecisionCache`, and the metrics
+registry, and it hands out per-session :class:`GatewayConnection`
+objects. Connections implement the standard
+:class:`~repro.engine.connection.Connection` protocol, so application
+handlers run against a gateway session exactly as they would against a
+bare :class:`~repro.engine.database.Database`.
+
+What the gateway adds over a loose pile of per-session proxies:
+
+* **Shared decisions** — all sessions consult (and feed) one
+  template cache, so a decision learned for one user amortizes across
+  the whole user population (per-session traces still gate
+  history-dependent templates; see ``repro.serve.cache``).
+* **Write-driven invalidation** — INSERT/UPDATE/DELETE statements are
+  serialized through the gateway's write lock and evict every cached
+  template touching the written table, in the shared cache and in any
+  per-session caches (the ablation configuration).
+* **Observability** — per-stage latency histograms (parse / check /
+  execute), cache and decision counters, and per-view allow counts.
+* **Optional self-verification** — with ``verify_cached_decisions`` on,
+  every cache hit is replayed through the full
+  :class:`~repro.enforce.checker.ComplianceChecker` and disagreements
+  are counted (``cache_disagreements``); E11 asserts this stays zero.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.enforce.cache import DecisionCache
+from repro.enforce.decision import Decision
+from repro.enforce.proxy import EnforcementProxy, ProxyConfig, Session
+from repro.engine.database import Database
+from repro.engine.executor import Result
+from repro.policy.policy import Policy
+from repro.serve.cache import SharedDecisionCache
+from repro.serve.metrics import GatewayMetrics, MetricsSnapshot
+from repro.sqlir import ast
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Gateway-wide configuration, applied to every session it opens.
+
+    ``cache_mode``:
+
+    * ``"shared"`` (default) — one :class:`SharedDecisionCache` for all
+      sessions;
+    * ``"per-session"`` — a private :class:`DecisionCache` per session
+      (the ablation the E11 benchmark compares against);
+    * ``"none"`` — no decision caching at all.
+    """
+
+    history_enabled: bool = True
+    cache_mode: str = "shared"
+    verify_cached_decisions: bool = False
+    record_decisions: bool = False
+    decision_log_cap: int = 256
+
+    def __post_init__(self) -> None:
+        if self.cache_mode not in ("shared", "per-session", "none"):
+            raise ValueError(f"unknown cache_mode {self.cache_mode!r}")
+
+
+class GatewayConnection(EnforcementProxy):
+    """One session's connection, vended by :meth:`EnforcementGateway.connect`."""
+
+    def __init__(
+        self,
+        gateway: "EnforcementGateway",
+        session: Session,
+        config: ProxyConfig,
+    ):
+        super().__init__(gateway.db, gateway.policy, session, config)
+        self._gateway = gateway
+
+    # -- hooks wired into the gateway ------------------------------------------
+
+    def _execute_write(
+        self,
+        stmt: ast.Statement,
+        args: Sequence[object],
+        named: Mapping[str, object] | None,
+    ) -> Result | int:
+        return self._gateway._handle_write(stmt, args, named)
+
+    def _record_stage(self, stage: str, seconds: float) -> None:
+        self._gateway.metrics.observe_stage(stage, seconds)
+
+    def _observe_decision(self, decision: Decision, bound: ast.Select) -> None:
+        metrics = self._gateway.metrics
+        metrics.increment("decisions_allowed" if decision.allowed else "decisions_blocked")
+        if decision.from_cache:
+            metrics.increment("cache_hits")
+            if self._gateway.config.verify_cached_decisions:
+                self._verify_cached(decision, bound)
+        else:
+            metrics.increment("cache_misses" if self.config.cache is not None else "uncached_checks")
+        for rewriting in decision.rewritings:
+            for atom in rewriting.atoms:
+                metrics.count_view_check(atom.rel)
+
+    def _verify_cached(self, decision: Decision, bound: ast.Select) -> None:
+        """Replay a cache hit through the uncached checker and compare."""
+        trace = self.trace if self.config.history_enabled else None
+        fresh = self.checker.check(bound, self.session.bindings, trace)
+        self._gateway.metrics.increment("cache_verified")
+        if fresh.allowed != decision.allowed:
+            self._gateway.metrics.increment("cache_disagreements")
+
+
+class EnforcementGateway:
+    """Owns the shared cache and metrics; hands out per-session connections."""
+
+    def __init__(
+        self,
+        db: Database,
+        policy: Policy,
+        config: GatewayConfig | None = None,
+    ):
+        self.db = db
+        self.policy = policy
+        self.config = config or GatewayConfig()
+        self.metrics = GatewayMetrics()
+        self.shared_cache: SharedDecisionCache | None = (
+            SharedDecisionCache(policy) if self.config.cache_mode == "shared" else None
+        )
+        self._session_caches: list[DecisionCache] = []
+        self._connections: dict[tuple, GatewayConnection] = {}
+        # RLock: connect() holds it while _proxy_config() re-enters to
+        # register a per-session cache.
+        self._connect_lock = threading.RLock()
+        self._write_lock = threading.RLock()
+
+    # -- session management -----------------------------------------------------
+
+    def connect(
+        self,
+        session: Session | Mapping[str, object] | object,
+        fresh: bool = False,
+    ) -> GatewayConnection:
+        """Open (or rejoin) the connection for a session.
+
+        ``session`` may be a :class:`Session`, a bindings mapping, or a
+        bare user id (bound to the conventional ``MyUId`` parameter).
+        Connections are keyed by their bindings: reconnecting as the same
+        principal resumes the same trace, the way an application server's
+        session store would. ``fresh=True`` forces a brand-new session
+        (empty trace) without disturbing the stored one.
+        """
+        normalized = self._normalize(session)
+        key = tuple(sorted(normalized.bindings.items()))
+        if fresh:
+            self.metrics.increment("sessions_opened")
+            return GatewayConnection(self, normalized, self._proxy_config())
+        with self._connect_lock:
+            connection = self._connections.get(key)
+            if connection is None:
+                connection = GatewayConnection(self, normalized, self._proxy_config())
+                self._connections[key] = connection
+                self.metrics.increment("sessions_opened")
+            return connection
+
+    def connections(self) -> list[GatewayConnection]:
+        with self._connect_lock:
+            return list(self._connections.values())
+
+    def close(self) -> None:
+        with self._connect_lock:
+            for connection in self._connections.values():
+                connection.close()
+            self._connections.clear()
+
+    def _normalize(self, session: Session | Mapping[str, object] | object) -> Session:
+        if isinstance(session, Session):
+            return session
+        if isinstance(session, Mapping):
+            return Session(bindings=dict(session))
+        return Session.for_user(session)
+
+    def _proxy_config(self) -> ProxyConfig:
+        if self.config.cache_mode == "shared":
+            cache: DecisionCache | None = self.shared_cache
+        elif self.config.cache_mode == "per-session":
+            cache = DecisionCache(self.policy)
+            with self._connect_lock:
+                self._session_caches.append(cache)
+        else:
+            cache = None
+        return ProxyConfig(
+            history_enabled=self.config.history_enabled,
+            record_decisions=self.config.record_decisions,
+            cache=cache,
+            decision_log_cap=self.config.decision_log_cap,
+        )
+
+    # -- writes ------------------------------------------------------------------
+
+    def _handle_write(
+        self,
+        stmt: ast.Statement,
+        args: Sequence[object],
+        named: Mapping[str, object] | None,
+    ) -> Result | int:
+        """Serialize a write and evict decision templates it stales.
+
+        The in-memory engine is not safe for concurrent mutation, so all
+        writes funnel through one lock (reads stay lock-free: CPython
+        container operations the executor uses are atomic enough under
+        the GIL, and the experiments' read streams dwarf their writes).
+        Invalidation happens *inside* the lock so no session can observe
+        the new data while stale templates are still live.
+        """
+        with self._write_lock:
+            outcome = self.db.sql(stmt, args, named)
+            tables = self._written_tables(stmt)
+            evicted = 0
+            for cache in self._invalidation_targets():
+                for table in tables:
+                    evicted += cache.invalidate_table(table)
+            self.metrics.increment("writes")
+            if evicted:
+                self.metrics.increment("templates_invalidated", evicted)
+            return outcome
+
+    def _invalidation_targets(self) -> list[DecisionCache]:
+        targets: list[DecisionCache] = []
+        if self.shared_cache is not None:
+            targets.append(self.shared_cache)
+        with self._connect_lock:
+            targets.extend(self._session_caches)
+        return targets
+
+    @staticmethod
+    def _written_tables(stmt: ast.Statement) -> tuple[str, ...]:
+        if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
+            return (stmt.table,)
+        return ()
+
+    # -- observability -----------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        snapshot = self.metrics.snapshot()
+        if self.shared_cache is not None:
+            for name, value in self.shared_cache.stats().items():
+                snapshot.counters[f"shared_cache_{name}"] = value
+        return snapshot
+
+    def cache_hit_rate(self) -> float:
+        """Hit rate across whichever caches this configuration uses."""
+        if self.shared_cache is not None:
+            return self.shared_cache.hit_rate
+        with self._connect_lock:
+            caches = list(self._session_caches)
+        hits = sum(cache.hits for cache in caches)
+        misses = sum(cache.misses for cache in caches)
+        total = hits + misses
+        return hits / total if total else 0.0

@@ -7,8 +7,11 @@ and generators for compliant request streams and non-compliant "attack"
 queries.
 
 :class:`AppRunner` executes request streams against a connection mode
-(direct / enforcement proxy / RLS), reusing one proxy per session user so
-trace history accumulates the way it would in a real deployment.
+(direct / enforcement proxy / RLS / serving gateway), reusing one
+connection per session user so trace history accumulates the way it
+would in a real deployment. Handlers only ever see the
+:class:`~repro.engine.connection.Connection` protocol, so the runner is
+backend-agnostic.
 """
 
 from __future__ import annotations
@@ -16,14 +19,19 @@ from __future__ import annotations
 import random
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.enforce.cache import DecisionCache
 from repro.enforce.decision import PolicyViolation
 from repro.enforce.proxy import EnforcementProxy, Session
 from repro.enforce.baselines import DirectConnection, RowLevelSecurityProxy
+from repro.engine.connection import Connection
 from repro.engine.database import Database
 from repro.extract.handlers import Handler, HandlerOutcome, run_handler
 from repro.policy.policy import Policy
+
+if TYPE_CHECKING:  # avoid a hard import cycle with repro.serve
+    from repro.serve.gateway import EnforcementGateway
 
 
 @dataclass(frozen=True)
@@ -89,11 +97,14 @@ class AppRunner:
         history_enabled: bool = True,
         cache: DecisionCache | None = None,
         fresh_session_per_request: bool = False,
+        gateway: "EnforcementGateway | None" = None,
     ):
-        if mode not in ("direct", "proxy", "rls"):
+        if mode not in ("direct", "proxy", "rls", "gateway"):
             raise ValueError(f"unknown mode {mode!r}")
         if mode in ("proxy",) and policy is None:
             raise ValueError("proxy mode needs a policy")
+        if mode == "gateway" and gateway is None:
+            raise ValueError("gateway mode needs a gateway")
         self.app = app
         self.db = db
         self.mode = mode
@@ -101,15 +112,21 @@ class AppRunner:
         self.history_enabled = history_enabled
         self.cache = cache
         self.fresh_session_per_request = fresh_session_per_request
+        self.gateway = gateway
         self._proxies: dict[tuple, EnforcementProxy] = {}
         self._direct = DirectConnection(db)
 
-    def connection_for(self, session: dict[str, object]):
+    def connection_for(self, session: dict[str, object]) -> Connection:
         if self.mode == "direct":
             return self._direct
         bindings = self.app.session_bindings(session)
         if self.mode == "rls":
             return RowLevelSecurityProxy(self.db, self.app.rls_predicates, bindings)
+        if self.mode == "gateway":
+            assert self.gateway is not None
+            return self.gateway.connect(
+                bindings, fresh=self.fresh_session_per_request
+            )
         key = tuple(sorted(bindings.items()))
         if self.fresh_session_per_request or key not in self._proxies:
             proxy = EnforcementProxy(

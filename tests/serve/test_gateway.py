@@ -1,0 +1,234 @@
+"""EnforcementGateway: sessions, writes, metrics, and the workload driver."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.enforce import (
+    DirectConnection,
+    EnforcementProxy,
+    PolicyViolation,
+    ProxyConfig,
+    Session,
+)
+from repro.engine import Connection, Database
+from repro.serve import (
+    EnforcementGateway,
+    GatewayConfig,
+    GatewayConnection,
+    WorkloadDriver,
+)
+from repro.workloads import calendar_app, social
+
+
+@pytest.fixture
+def calendar_gateway(calendar_db, calendar_policy):
+    return EnforcementGateway(
+        calendar_db, calendar_policy, GatewayConfig(verify_cached_decisions=True)
+    )
+
+
+class TestConnectionProtocol:
+    def test_every_backend_satisfies_the_protocol(self, calendar_db, calendar_policy):
+        gateway = EnforcementGateway(calendar_db, calendar_policy)
+        backends = [
+            calendar_db,
+            DirectConnection(calendar_db),
+            EnforcementProxy(calendar_db, calendar_policy, Session.for_user(1)),
+            gateway.connect(1),
+        ]
+        for backend in backends:
+            assert isinstance(backend, Connection), type(backend)
+
+    def test_closed_gateway_connection_refuses_statements(self, calendar_gateway):
+        connection = calendar_gateway.connect(1)
+        connection.close()
+        with pytest.raises(Exception, match="closed"):
+            connection.sql("SELECT EId FROM Attendance WHERE UId = 1")
+
+    def test_database_parse_is_public_and_cached(self):
+        db = calendar_app.make_database(size=5, seed=3)
+        first = db.parse("SELECT EId FROM Attendance WHERE UId = 1")
+        again = db.parse("SELECT EId FROM Attendance WHERE UId = 1")
+        assert first is again
+        # The deprecated private alias still works.
+        assert db._parse("SELECT EId FROM Attendance WHERE UId = 1") is first
+
+
+class TestSessions:
+    def test_connect_normalizes_and_memoizes(self, calendar_gateway):
+        by_id = calendar_gateway.connect(1)
+        by_mapping = calendar_gateway.connect({"MyUId": 1})
+        by_session = calendar_gateway.connect(Session.for_user(1))
+        assert by_id is by_mapping is by_session
+        assert calendar_gateway.connect(2) is not by_id
+        assert calendar_gateway.metrics.counter("sessions_opened") == 2
+
+    def test_fresh_session_has_empty_trace(self, calendar_gateway):
+        returning = calendar_gateway.connect(1)
+        returning.query("SELECT EId FROM Attendance WHERE UId = 1")
+        assert len(returning.trace) == 1
+        fresh = calendar_gateway.connect(1, fresh=True)
+        assert len(fresh.trace) == 0
+        assert fresh is not returning
+
+    def test_example_2_1_triple_through_the_gateway(self, calendar_policy):
+        """Q1 allowed; Q2 allowed with history, blocked in a fresh session."""
+        db = calendar_app.make_database(size=10, seed=3)
+        if db.query("SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2").is_empty():
+            db.sql("INSERT INTO Attendance VALUES (1, 2)")
+        gateway = EnforcementGateway(
+            db, calendar_policy, GatewayConfig(verify_cached_decisions=True)
+        )
+        connection = gateway.connect(1)
+        q1 = connection.query("SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2")
+        assert not q1.is_empty()
+        q2 = connection.query("SELECT * FROM Events WHERE EId = 2")
+        assert not q2.is_empty()
+        with pytest.raises(PolicyViolation):
+            gateway.connect(1, fresh=True).query("SELECT * FROM Events WHERE EId = 2")
+        assert gateway.metrics.counter("cache_disagreements") == 0
+
+
+class TestSharedCacheThroughGateway:
+    def test_one_users_decision_amortizes_for_others(self, calendar_gateway):
+        calendar_gateway.connect(1).query("SELECT EId FROM Attendance WHERE UId = 1")
+        assert calendar_gateway.shared_cache.hits == 0
+        calendar_gateway.connect(2).query("SELECT EId FROM Attendance WHERE UId = 2")
+        assert calendar_gateway.shared_cache.hits == 1
+        assert calendar_gateway.metrics.counter("cache_disagreements") == 0
+
+    def test_history_dependent_hit_requires_own_history(self, calendar_policy):
+        db = calendar_app.make_database(size=10, seed=3)
+        for uid, eid in ((1, 2), (4, 2)):
+            if db.query(
+                "SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", [uid, eid]
+            ).is_empty():
+                db.sql("INSERT INTO Attendance VALUES (?, ?)", [uid, eid])
+        gateway = EnforcementGateway(
+            db, calendar_policy, GatewayConfig(verify_cached_decisions=True)
+        )
+        first = gateway.connect(1)
+        first.query("SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2")
+        first.query("SELECT * FROM Events WHERE EId = 2")  # stores the template
+        # User 4 has not run the guard: the shared template must not fire.
+        with pytest.raises(PolicyViolation):
+            gateway.connect(4).query("SELECT * FROM Events WHERE EId = 2")
+        # After the guard, the shared template serves user 4 from cache.
+        other = gateway.connect(4)
+        other.query("SELECT 1 FROM Attendance WHERE UId = 4 AND EId = 2")
+        before = gateway.shared_cache.hits
+        other.query("SELECT * FROM Events WHERE EId = 2")
+        assert gateway.shared_cache.hits == before + 1
+        assert gateway.metrics.counter("cache_disagreements") == 0
+
+
+class TestWritesThroughGateway:
+    def test_write_invalidates_templates_for_all_sessions(self, calendar_gateway):
+        calendar_gateway.connect(1).query("SELECT EId FROM Attendance WHERE UId = 1")
+        assert calendar_gateway.shared_cache.size == 1
+        calendar_gateway.connect(2).sql("DELETE FROM Attendance WHERE UId = 2")
+        assert calendar_gateway.shared_cache.size == 0
+        assert calendar_gateway.metrics.counter("writes") == 1
+        assert calendar_gateway.metrics.counter("templates_invalidated") == 1
+        # The next identical-shape query re-checks and re-stores.
+        calendar_gateway.connect(3).query("SELECT EId FROM Attendance WHERE UId = 3")
+        assert calendar_gateway.shared_cache.size == 1
+
+    def test_write_to_unrelated_table_keeps_templates(self, calendar_gateway):
+        calendar_gateway.connect(1).query("SELECT EId FROM Attendance WHERE UId = 1")
+        calendar_gateway.connect(1).sql("UPDATE Users SET Name = Name")
+        assert calendar_gateway.shared_cache.size == 1
+
+    def test_per_session_caches_also_invalidated(self, calendar_db, calendar_policy):
+        gateway = EnforcementGateway(
+            calendar_db, calendar_policy, GatewayConfig(cache_mode="per-session")
+        )
+        connection = gateway.connect(1)
+        connection.query("SELECT EId FROM Attendance WHERE UId = 1")
+        assert connection.config.cache.size == 1
+        gateway.connect(2).sql("DELETE FROM Attendance WHERE UId = 2")
+        assert connection.config.cache.size == 0
+
+
+class TestDriver:
+    def test_replay_preserves_session_order_and_counts(self, calendar_policy):
+        app = calendar_app.make_app()
+        db = app.make_database(12, 3)
+        gateway = EnforcementGateway(
+            db, app.ground_truth_policy(), GatewayConfig(verify_cached_decisions=True)
+        )
+        driver = WorkloadDriver(app, gateway, workers=4, write_every=10)
+        requests = app.request_stream(db, random.Random(5), 80)
+        report = driver.run(requests)
+        assert report.requests == 80
+        assert report.completed + report.blocked + report.aborted + report.errors == 80
+        assert report.errors == 0
+        assert report.sessions == len({tuple(sorted(r.session.items())) for r in requests})
+        assert report.metrics.counters.get("cache_disagreements", 0) == 0
+        assert report.wall_seconds > 0
+        assert report.throughput_rps > 0
+
+    def test_shared_beats_per_session_on_multi_user_social(self):
+        app = social.make_app()
+        seed_requests = random.Random(5)
+        reports = {}
+        for mode in ("shared", "per-session"):
+            db = app.make_database(16, 7)
+            gateway = EnforcementGateway(
+                db, app.ground_truth_policy(), GatewayConfig(cache_mode=mode)
+            )
+            driver = WorkloadDriver(app, gateway, workers=4)
+            requests = app.request_stream(db, random.Random(5), 120)
+            reports[mode] = driver.run(requests)
+        assert reports["shared"].hit_rate > reports["per-session"].hit_rate
+
+    def test_runner_gateway_mode(self, calendar_policy):
+        from repro.workloads.runner import AppRunner
+
+        app = calendar_app.make_app()
+        db = app.make_database(10, 3)
+        gateway = EnforcementGateway(db, app.ground_truth_policy())
+        runner = AppRunner(app, db, mode="gateway", gateway=gateway)
+        requests = app.request_stream(db, random.Random(4), 30)
+        outcomes = runner.run_all(requests)
+        assert len(outcomes) == 30
+        assert gateway.metrics.counter("sessions_opened") > 0
+
+
+class TestProxyConfigCompat:
+    def test_config_object_and_legacy_kwargs_agree(self, calendar_db, calendar_policy):
+        configured = EnforcementProxy(
+            calendar_db,
+            calendar_policy,
+            Session.for_user(1),
+            ProxyConfig(history_enabled=False, record_decisions=True),
+        )
+        legacy = EnforcementProxy(
+            calendar_db,
+            calendar_policy,
+            Session.for_user(1),
+            history_enabled=False,
+            record_decisions=True,
+        )
+        assert configured.config == legacy.config
+        assert not legacy.checker.history_enabled
+        # Legacy read-only attribute accessors still answer.
+        assert legacy.record_decisions is True
+        assert legacy.cache is None
+
+    def test_decision_log_is_a_capped_ring_buffer(self, calendar_db, calendar_policy):
+        proxy = EnforcementProxy(
+            calendar_db,
+            calendar_policy,
+            Session.for_user(1),
+            ProxyConfig(record_decisions=True, decision_log_cap=5),
+        )
+        for _ in range(12):
+            proxy.query("SELECT EId FROM Attendance WHERE UId = 1")
+        assert len(proxy.stats.decisions) == 5
+        assert proxy.stats.allowed == 12
+        newest = proxy.stats.decisions[-1]
+        assert newest.allowed
