@@ -12,6 +12,7 @@
         "SELECT * FROM Events WHERE EId = 2"
     python -m repro serve-bench --app social --requests 500 --workers 8 \\
         --write-every 20 --verify
+    python -m repro serve --app calendar --port 7433 --max-in-flight 16
 
 Every subcommand operates on one of the bundled workload applications
 (``--app calendar|hospital|employees|social``) and prints human-readable
@@ -25,7 +26,7 @@ import argparse
 import random
 import sys
 
-from repro.enforce import EnforcementProxy, PolicyViolation, Session
+from repro.enforce import EnforcementProxy, PolicyViolation, ProxyConfig, Session
 from repro.policy import compare_policies, policy_to_text
 from repro.relalg.chase import TGD
 from repro.relalg.cq import Atom, Var
@@ -126,7 +127,7 @@ def cmd_enforce(args: argparse.Namespace) -> int:
     app, db = _load_app(args.app, args.size, args.seed)
     policy = app.ground_truth_policy()
     proxy = EnforcementProxy(
-        db, policy, Session.for_user(args.user), record_decisions=True
+        db, policy, Session.for_user(args.user), ProxyConfig(record_decisions=True)
     )
     for sql in args.sql:
         try:
@@ -226,6 +227,56 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         verified = report.metrics.counters.get("cache_verified", 0)
         print(f"cache verification: {disagreements} disagreements / {verified} hits")
         return 1 if disagreements else 0
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.net import NetServer, ServerConfig
+    from repro.serve import EnforcementGateway, GatewayConfig
+
+    app, db = _load_app(args.app, args.size, args.seed)
+    policy = app.ground_truth_policy()
+    gateway = EnforcementGateway(
+        db, policy, GatewayConfig(cache_mode=args.cache)
+    )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        max_in_flight=args.max_in_flight,
+        worker_threads=args.workers,
+        request_timeout_s=args.request_timeout,
+        idle_timeout_s=args.idle_timeout,
+    )
+    server = NetServer(gateway, config)
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"repro serve: app={app.name} policy={policy.name}"
+            f" cache={args.cache} listening on {config.host}:{server.port}"
+        )
+        print(
+            f"  admission: {config.max_connections} connections,"
+            f" {config.max_in_flight} statements in flight;"
+            f" deadline {config.request_timeout_s}s, idle {config.idle_timeout_s}s"
+        )
+        print("  Ctrl-C drains gracefully (finish in-flight, then close)")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.shutdown()
+            snapshot = server.metrics.snapshot()
+            print("drained; net counters:")
+            for name in sorted(snapshot.counters):
+                print(f"  {name}: {snapshot.counters[name]}")
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -349,6 +400,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-check every cache hit with the full checker; exit 1 on disagreement",
     )
     serve.set_defaults(func=cmd_serve_bench)
+
+    net = sub.add_parser(
+        "serve",
+        help="serve the enforcement gateway over TCP (wire protocol)",
+    )
+    common(net)
+    net.add_argument("--host", default="127.0.0.1")
+    net.add_argument("--port", type=int, default=7433, help="0 picks a free port")
+    net.add_argument(
+        "--max-connections", type=_positive_int, default=64,
+        help="admission control: concurrent connections",
+    )
+    net.add_argument(
+        "--max-in-flight", type=_positive_int, default=16,
+        help="admission control: concurrent statements (excess shed)",
+    )
+    net.add_argument(
+        "--workers", type=_positive_int, default=8, help="checker worker threads"
+    )
+    net.add_argument(
+        "--request-timeout", type=float, default=10.0,
+        help="per-statement deadline in seconds",
+    )
+    net.add_argument(
+        "--idle-timeout", type=float, default=300.0,
+        help="reap connections idle this many seconds",
+    )
+    net.add_argument(
+        "--cache",
+        choices=["shared", "per-session", "none"],
+        default="shared",
+        help="decision-cache configuration",
+    )
+    net.set_defaults(func=cmd_serve)
 
     diag = sub.add_parser("diagnose", help="diagnose a blocked query (§5)")
     common(diag)

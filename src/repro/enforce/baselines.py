@@ -27,6 +27,7 @@ class DirectConnection:
 
     def __init__(self, db: Database):
         self.db = db
+        self._closed = False
 
     def sql(
         self,
@@ -34,6 +35,8 @@ class DirectConnection:
         args: Sequence[object] = (),
         named: Mapping[str, object] | None = None,
     ) -> Result | int:
+        if self._closed:
+            raise EngineError("connection is closed")
         return self.db.sql(sql, args, named)
 
     def query(
@@ -42,10 +45,14 @@ class DirectConnection:
         args: Sequence[object] = (),
         named: Mapping[str, object] | None = None,
     ) -> Result:
+        if self._closed:
+            raise EngineError("connection is closed")
         return self.db.query(sql, args, named)
 
     def close(self) -> None:
-        """Connection-protocol close; nothing per-connection to release."""
+        """Refuse further statements on this handle (idempotent);
+        the underlying database stays open for other connections."""
+        self._closed = True
 
 
 class RowLevelSecurityProxy:
@@ -66,6 +73,7 @@ class RowLevelSecurityProxy:
         self.db = db
         self.bindings = dict(bindings)
         self._predicates: dict[str, str] = dict(predicates)
+        self._closed = False
         for table in self._predicates:
             if table not in db.schema.tables:
                 raise PolicyError(f"RLS predicate for unknown table {table!r}")
@@ -76,6 +84,8 @@ class RowLevelSecurityProxy:
         args: Sequence[object] = (),
         named: Mapping[str, object] | None = None,
     ) -> Result | int:
+        if self._closed:
+            raise EngineError("connection is closed")
         stmt = self.db.parse(sql)
         if not isinstance(stmt, ast.Select):
             return self.db.sql(stmt, args, named)
@@ -96,7 +106,9 @@ class RowLevelSecurityProxy:
         return result
 
     def close(self) -> None:
-        """Connection-protocol close; nothing per-connection to release."""
+        """Refuse further statements on this handle (idempotent);
+        the underlying database stays open for other connections."""
+        self._closed = True
 
     def _rewrite(self, stmt: ast.Select) -> ast.Select:
         """Conjoin each referenced table's predicate to the WHERE clause."""

@@ -121,8 +121,15 @@ class EnforcementProxy:
         if record_decisions is not None:
             overrides["record_decisions"] = record_decisions
         if overrides:
+            import warnings
             from dataclasses import replace
 
+            warnings.warn(
+                f"EnforcementProxy keyword(s) {sorted(overrides)} are deprecated;"
+                " pass config=ProxyConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
             base = replace(base, **overrides)
         self.config = base
         self.db = db

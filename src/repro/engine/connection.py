@@ -10,11 +10,14 @@ backend they talk to:
   returns a :class:`~repro.engine.executor.Result` for SELECTs and an
   affected-row count for writes.
 * ``query(sql, args, named)`` — like ``sql`` but asserts a SELECT.
-* ``close()`` — release per-connection state. Connections over the
-  in-memory engine hold no OS resources, so this is a semantic marker
-  (a closed connection refuses further statements where enforcement
-  state matters), but the protocol keeps call sites honest for future
-  backends that do hold sockets or file handles.
+* ``close()`` — release per-connection state. The contract, shared by
+  every implementation and pinned by
+  ``tests/engine/test_connection_contract.py``: ``close()`` is
+  **idempotent** (closing twice is a no-op, never an error) and a
+  closed connection **refuses further statements** with an
+  :class:`~repro.util.errors.EngineError` mentioning "closed". The
+  in-memory backends hold no OS resources, but the network client does
+  hold a socket, and uniform semantics keep every call site honest.
 
 The protocol is ``runtime_checkable`` so tests can assert conformance
 with ``isinstance``; structural typing means none of the implementations

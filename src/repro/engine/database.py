@@ -29,6 +29,7 @@ class Database:
             for name, table_schema in self.schema.tables.items()
         }
         self._statement_cache: dict[str, ast.Statement] = {}
+        self._closed = False
 
     # -- schema management -----------------------------------------------------
 
@@ -50,6 +51,8 @@ class Database:
         named: Mapping[str, object] | None = None,
     ) -> Result | int:
         """Parse, bind, and execute one statement."""
+        if self._closed:
+            raise EngineError("connection is closed")
         stmt = self.parse(sql)
         if isinstance(stmt, ast.CreateTable):
             self.create_table(Schema.from_create_statements([stmt]).table(stmt.name))
@@ -89,7 +92,14 @@ class Database:
     _parse = parse
 
     def close(self) -> None:
-        """Connection-protocol close; the in-memory engine holds no handles."""
+        """Connection-protocol close: refuse further statements. Idempotent.
+
+        The in-memory engine holds no OS handles, but the ``Connection``
+        contract (one all implementations share, tested in
+        ``tests/engine/test_connection_contract.py``) is that a closed
+        connection refuses further statements rather than limping on.
+        """
+        self._closed = True
 
     def insert_rows(self, table: str, rows: Sequence[Sequence[object]]) -> int:
         """Bulk insert rows (schema column order) bypassing SQL parsing."""

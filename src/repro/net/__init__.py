@@ -1,0 +1,39 @@
+"""The network tier: the enforcement gateway behind a real socket.
+
+``repro.net`` puts the multi-session :class:`EnforcementGateway` where
+Blockaid's proxy lives — between remote application clients and the
+database, over TCP — speaking a versioned, length-prefixed JSON protocol
+(:mod:`repro.net.protocol`). The asyncio server
+(:mod:`repro.net.server`) adds the production concerns a policy tier
+needs under heavy traffic: admission control with load shedding,
+per-request deadlines, idle reaping, frame hygiene, graceful drain, and
+a STATS command exposing net + gateway metrics. The blocking client
+(:mod:`repro.net.client`) implements the standard ``Connection``
+protocol so workloads replay over the wire unmodified. See
+``docs/networking.md`` and the E12 benchmark.
+"""
+
+from repro.net.client import NetClientConnection, NetGatewayClient
+from repro.net.metrics import NetMetrics
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    FrameTooLarge,
+    NetError,
+)
+from repro.net.server import BackgroundServer, NetServer, ServerConfig
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "BackgroundServer",
+    "ConnectionClosed",
+    "FrameTooLarge",
+    "NetClientConnection",
+    "NetError",
+    "NetGatewayClient",
+    "NetMetrics",
+    "NetServer",
+    "ServerConfig",
+]

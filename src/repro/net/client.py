@@ -1,0 +1,291 @@
+"""The blocking wire client.
+
+:class:`NetClientConnection` implements the standard
+:class:`~repro.engine.connection.Connection` protocol over a TCP socket,
+so every workload handler, the :class:`~repro.serve.driver.WorkloadDriver`,
+and the contract tests run against a remote gateway *unmodified* — a
+blocked query surfaces as the same :class:`PolicyViolation` the
+in-process proxy raises, and a SELECT's answer comes back as the same
+:class:`~repro.engine.executor.Result`.
+
+:class:`NetGatewayClient` is the gateway-shaped façade over many client
+connections: ``connect(bindings)`` vends (and memoizes) one wire
+connection per session principal, mirroring
+:meth:`~repro.serve.gateway.EnforcementGateway.connect`, which is all
+the driver needs to replay a workload over the network.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from collections.abc import Mapping, Sequence
+
+from repro.enforce.decision import Decision, PolicyViolation
+from repro.engine.executor import Result
+from repro.net import protocol
+from repro.net.protocol import ConnectionClosed, NetError
+from repro.serve.metrics import GatewayMetrics, MetricsSnapshot
+from repro.sqlir import ast
+from repro.util.errors import EngineError
+
+
+class NetClientConnection:
+    """One authenticated wire session; implements ``Connection``.
+
+    The connection keeps one request outstanding at a time (a session's
+    statements must stay ordered for trace history), correlating replies
+    by the echoed request id.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        bindings: Mapping[str, object] | None = None,
+        user: object | None = None,
+        fresh: bool = False,
+        timeout_s: float = 30.0,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+    ):
+        if bindings is None:
+            if user is None:
+                raise NetError("need bindings or user", code=protocol.ERR_BAD_REQUEST)
+            bindings = {"MyUId": user}
+        self.bindings = dict(bindings)
+        self._max_frame_bytes = max_frame_bytes
+        self._next_id = 0
+        self._closed = False
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            reply = self._roundtrip(
+                {
+                    "type": protocol.HELLO,
+                    "version": protocol.PROTOCOL_VERSION,
+                    "bindings": self.bindings,
+                    "fresh": fresh,
+                }
+            )
+            if reply["type"] != protocol.WELCOME:
+                raise self._to_error(reply)
+        except BaseException:
+            self._sock.close()
+            self._closed = True
+            raise
+
+    # -- the Connection protocol --------------------------------------------------
+
+    def sql(
+        self,
+        sql: str | ast.Statement,
+        args: Sequence[object] = (),
+        named: Mapping[str, object] | None = None,
+    ) -> Result | int:
+        reply = self._request(protocol.EXEC, sql, args, named)
+        return self._to_outcome(reply)
+
+    def query(
+        self,
+        sql: str | ast.Statement,
+        args: Sequence[object] = (),
+        named: Mapping[str, object] | None = None,
+    ) -> Result:
+        reply = self._request(protocol.QUERY, sql, args, named)
+        outcome = self._to_outcome(reply)
+        if not isinstance(outcome, Result):
+            raise EngineError("query() requires a SELECT statement")
+        return outcome
+
+    def close(self) -> None:
+        """Send GOODBYE (best effort) and release the socket. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            protocol.write_frame(self._sock, {"type": protocol.GOODBYE})
+            self._sock.settimeout(1.0)
+            protocol.read_frame(self._sock, self._max_frame_bytes)  # BYE
+        except Exception:
+            pass  # the server may already be gone; closing is still fine
+        finally:
+            self._sock.close()
+
+    # -- extras beyond the Connection protocol ------------------------------------
+
+    def ping(self) -> float:
+        """Round-trip a PING; returns the wire latency in seconds."""
+        started = time.perf_counter()
+        reply = self._roundtrip({"type": protocol.PING, "id": self._take_id()})
+        if reply["type"] != protocol.PONG:
+            raise self._to_error(reply)
+        return time.perf_counter() - started
+
+    def stats(self) -> dict:
+        """Fetch the server's STATS document (net + gateway metrics)."""
+        reply = self._roundtrip({"type": protocol.STATS, "id": self._take_id()})
+        if reply["type"] != protocol.STATS:
+            raise self._to_error(reply)
+        return reply
+
+    # -- internals ----------------------------------------------------------------
+
+    def _request(
+        self,
+        kind: str,
+        sql: str | ast.Statement,
+        args: Sequence[object],
+        named: Mapping[str, object] | None,
+    ) -> dict:
+        if self._closed:
+            raise EngineError("connection is closed")
+        if not isinstance(sql, str):
+            raise NetError(
+                "the wire client sends SQL text, not AST statements",
+                code=protocol.ERR_BAD_REQUEST,
+            )
+        request_id = self._take_id()
+        reply = self._roundtrip(
+            {
+                "type": kind,
+                "id": request_id,
+                "sql": sql,
+                "args": list(args),
+                "named": dict(named) if named is not None else None,
+            }
+        )
+        if reply.get("id") != request_id:
+            raise NetError(
+                f"reply id {reply.get('id')!r} does not match request {request_id}",
+                code=protocol.ERR_MALFORMED,
+            )
+        return reply
+
+    def _roundtrip(self, message: dict) -> dict:
+        try:
+            protocol.write_frame(self._sock, message)
+            return protocol.read_frame(self._sock, self._max_frame_bytes)
+        except (ConnectionClosed, OSError) as exc:
+            self._closed = True
+            self._sock.close()
+            if isinstance(exc, ConnectionClosed):
+                raise
+            raise ConnectionClosed(str(exc)) from exc
+
+    def _to_outcome(self, reply: dict) -> Result | int:
+        kind = reply["type"]
+        if kind == protocol.RESULT:
+            if "rowcount" in reply:
+                return int(reply["rowcount"])
+            return Result(
+                columns=list(reply["columns"]),
+                rows=[tuple(row) for row in reply["rows"]],
+            )
+        raise self._to_error(reply)
+
+    def _to_error(self, reply: dict) -> Exception:
+        kind = reply.get("type")
+        if kind == protocol.BLOCKED:
+            decision = Decision(
+                allowed=False,
+                sql=str(reply.get("sql", "")),
+                reason=str(reply.get("reason", "blocked by policy")),
+                from_cache=bool(reply.get("cached", False)),
+            )
+            return PolicyViolation(decision)
+        code = str(reply.get("code", protocol.ERR_INTERNAL))
+        message = str(reply.get("error", f"unexpected {kind} reply"))
+        if code in (protocol.ERR_TIMEOUT, protocol.ERR_SHUTTING_DOWN):
+            # Both terminate the connection server-side.
+            self._closed = True
+        return NetError(message, code=code)
+
+    def _take_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class NetGatewayClient:
+    """A gateway-shaped handle on a *remote* gateway.
+
+    Mirrors the :class:`~repro.serve.gateway.EnforcementGateway` surface
+    the :class:`~repro.serve.driver.WorkloadDriver` uses — ``connect``,
+    ``metrics``, ``snapshot``, ``cache_hit_rate`` — so a workload replay
+    targets the network with a one-line change (construct this instead
+    of a gateway). ``db`` is optional and only needed by drivers that
+    synthesize writes from the schema (``write_every``).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        db=None,
+        timeout_s: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.db = db
+        self.timeout_s = timeout_s
+        self.metrics = GatewayMetrics()
+        self._connections: dict[tuple, NetClientConnection] = {}
+
+    def connect(
+        self, bindings: Mapping[str, object], fresh: bool = False
+    ) -> NetClientConnection:
+        key = tuple(sorted(bindings.items()))
+        if fresh:
+            return self._open(bindings, fresh=True)
+        connection = self._connections.get(key)
+        if connection is None or connection.closed:
+            connection = self._open(bindings, fresh=False)
+            self._connections[key] = connection
+        return connection
+
+    def _open(self, bindings: Mapping[str, object], fresh: bool) -> NetClientConnection:
+        return NetClientConnection(
+            self.host,
+            self.port,
+            bindings=bindings,
+            fresh=fresh,
+            timeout_s=self.timeout_s,
+        )
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Client-side metrics (the driver's ``request`` histogram)."""
+        return self.metrics.snapshot()
+
+    def remote_stats(self) -> dict:
+        """The server's STATS document, via a transient connection."""
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout_s)
+        try:
+            protocol.write_frame(sock, {"type": protocol.STATS, "id": 0})
+            return protocol.read_frame(sock)
+        finally:
+            try:
+                protocol.write_frame(sock, {"type": protocol.GOODBYE})
+            except OSError:
+                pass
+            sock.close()
+
+    def cache_hit_rate(self) -> float:
+        try:
+            return float(self.remote_stats().get("cache_hit_rate", 0.0))
+        except (NetError, OSError):
+            return 0.0
+
+    def close(self) -> None:
+        """Close every vended connection. Idempotent."""
+        connections, self._connections = self._connections, {}
+        for connection in connections.values():
+            connection.close()
+
+    def __enter__(self) -> "NetGatewayClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

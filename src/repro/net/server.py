@@ -1,0 +1,598 @@
+"""The asyncio network front end of the enforcement gateway.
+
+One :class:`NetServer` owns one
+:class:`~repro.serve.gateway.EnforcementGateway` and exposes it over TCP
+via the protocol in :mod:`repro.net.protocol`. The event loop does all
+socket work; the synchronous enforcement pipeline (parse → check →
+execute) runs unchanged on a bounded thread pool, one statement at a
+time per session (a session's statements must stay ordered so trace
+history accumulates correctly — see Example 2.1).
+
+Production shape, not a toy:
+
+* **Admission control** — at most ``max_connections`` concurrent
+  connections (excess are told ``ERROR/overloaded`` and closed) and at
+  most ``max_in_flight`` statements executing at once. A statement
+  arriving with the pipeline full is *shed* immediately with
+  ``ERROR/overloaded`` rather than queued unboundedly: the client
+  learns in microseconds and can back off, and admitted requests keep a
+  bounded queue ahead of them (the E12 overload run measures exactly
+  this — p50 of admitted requests stays flat while excess load is shed).
+* **Per-request deadlines** — a statement that exceeds
+  ``request_timeout_s`` gets ``ERROR/timeout`` and the connection is
+  closed: the engine cannot cancel an in-flight check, so the session
+  object may still be busy and must not receive further statements
+  (the worker slot is reclaimed when the orphaned statement finishes).
+* **Idle reaping** — a connection silent for ``idle_timeout_s`` is
+  closed with ``BYE/idle`` so leaked client sockets cannot pin server
+  state forever.
+* **Frame hygiene** — oversized frames are rejected from the length
+  prefix alone, malformed payloads answered with ``ERROR/malformed``;
+  both close the connection (framing state is unrecoverable, and a
+  confused peer should not keep a slot).
+* **Graceful drain** — :meth:`shutdown` stops accepting, lets every
+  in-flight statement finish and its reply flush, closes the survivors
+  with ``BYE/shutting-down``, then tears down the pool. Statements that
+  arrive *during* the drain get ``ERROR/shutting_down``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.enforce.decision import PolicyViolation
+from repro.net import protocol
+from repro.net.metrics import NetMetrics
+from repro.net.protocol import (
+    ConnectionClosed,
+    FrameTooLarge,
+    NetError,
+    read_frame_async,
+)
+from repro.serve.gateway import EnforcementGateway, GatewayConnection
+from repro.util.errors import DbacError
+
+logger = logging.getLogger("repro.net")
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything configurable about a :class:`NetServer`.
+
+    ``execute_delay_s`` is a fault-injection knob: it stalls every
+    statement inside the worker thread for that long before execution.
+    Tests and the E12 overload run use it to make timing-dependent
+    behavior (shedding, deadlines, drain) deterministic; leave it 0 in
+    real deployments.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 7433
+    max_connections: int = 64
+    max_in_flight: int = 16
+    worker_threads: int = 8
+    request_timeout_s: float = 10.0
+    idle_timeout_s: float = 300.0
+    drain_grace_s: float = 10.0
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+    execute_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if self.worker_threads < 1:
+            raise ValueError("worker_threads must be >= 1")
+
+
+class NetServer:
+    """Serves one gateway over TCP; see the module docstring."""
+
+    def __init__(self, gateway: EnforcementGateway, config: ServerConfig | None = None):
+        self.gateway = gateway
+        self.config = config or ServerConfig()
+        self.metrics = NetMetrics()
+        self._server: asyncio.base_events.Server | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._draining = asyncio.Event()
+        self._handlers: set[asyncio.Task] = set()
+        # Loop-thread-only state (no lock needed: asyncio is single-threaded
+        # and executor-future callbacks are delivered on the loop thread).
+        self._in_flight = 0
+        self._active = 0
+        # One lock per session principal: two wire connections resuming the
+        # same session must not run statements on one proxy concurrently.
+        self._session_locks: dict[tuple, threading.Lock] = {}
+        self._session_locks_guard = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.worker_threads, thread_name_prefix="repro-net"
+        )
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` in tests)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, then close."""
+        if self._server is None:
+            return
+        self._draining.set()
+        self._server.close()
+        await self._server.wait_closed()
+        handlers = set(self._handlers)
+        if handlers:
+            done, pending = await asyncio.wait(
+                handlers, timeout=self.config.drain_grace_s
+            )
+            for task in pending:  # past the grace period: force-close
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+        self._server = None
+
+    # -- connection handling ------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._handlers.add(task)
+        try:
+            await self._handle(reader, writer)
+        except Exception:  # pragma: no cover - defensive; nothing should escape
+            logger.exception("connection handler crashed")
+        finally:
+            self._handlers.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._active >= self.config.max_connections or self.draining:
+            self.metrics.increment("connections_rejected")
+            code = (
+                protocol.ERR_SHUTTING_DOWN if self.draining else protocol.ERR_OVERLOADED
+            )
+            await self._send(
+                writer,
+                {
+                    "type": protocol.ERROR,
+                    "code": code,
+                    "error": f"server refused connection ({code})",
+                },
+            )
+            return
+        self._active += 1
+        self.metrics.connection_opened()
+        session_conn: GatewayConnection | None = None
+        session_key: tuple | None = None
+        drained = False
+        try:
+            while True:
+                frame = await self._next_frame(reader, writer)
+                if frame is None:
+                    drained = self.draining
+                    return
+                reply, keep_open = await self._dispatch(frame, writer, session_conn)
+                if isinstance(reply, _Authenticated):
+                    session_conn = reply.connection
+                    session_key = reply.key
+                    reply = reply.welcome
+                if reply is not None:
+                    await self._send(writer, reply)
+                if not keep_open:
+                    return
+                if self.draining and self._safe_to_drain(session_key):
+                    drained = True
+                    await self._send(
+                        writer, {"type": protocol.BYE, "reason": "shutting down"}
+                    )
+                    return
+        except ConnectionClosed:
+            return
+        except asyncio.CancelledError:  # drain grace expired
+            raise
+        finally:
+            self._active -= 1
+            self.metrics.connection_closed()
+            if drained:
+                self.metrics.increment("drained_connections")
+
+    async def _next_frame(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> dict | None:
+        """Read one frame, racing the idle clock and the drain signal.
+
+        Returns ``None`` when the connection should close quietly (idle
+        reap, drain while idle); raises :class:`ConnectionClosed` on EOF.
+        """
+        read_task = asyncio.ensure_future(
+            read_frame_async(reader, self.config.max_frame_bytes)
+        )
+        drain_task = asyncio.ensure_future(self._draining.wait())
+        try:
+            done, _ = await asyncio.wait(
+                {read_task, drain_task},
+                timeout=self.config.idle_timeout_s,
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+        finally:
+            drain_task.cancel()
+        if read_task not in done:
+            read_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, NetError):
+                await read_task
+            if self.draining:
+                await self._send(
+                    writer, {"type": protocol.BYE, "reason": "shutting down"}
+                )
+                return None
+            self.metrics.increment("idle_reaped")
+            await self._send(writer, {"type": protocol.BYE, "reason": "idle"})
+            return None
+        try:
+            return read_task.result()
+        except FrameTooLarge as exc:
+            self.metrics.increment("frames_oversized")
+            await self._send(
+                writer,
+                {"type": protocol.ERROR, "code": exc.code, "error": str(exc)},
+            )
+            return None
+        except ConnectionClosed:
+            raise
+        except NetError as exc:
+            self.metrics.increment("frames_malformed")
+            await self._send(
+                writer,
+                {"type": protocol.ERROR, "code": exc.code, "error": str(exc)},
+            )
+            return None
+
+    def _safe_to_drain(self, session_key: tuple | None) -> bool:
+        """During drain, only close between a session's statements."""
+        return True  # replies are awaited inline, so between-frames is safe
+
+    # -- dispatch -----------------------------------------------------------------
+
+    async def _dispatch(
+        self,
+        frame: dict,
+        writer: asyncio.StreamWriter,
+        session_conn: GatewayConnection | None,
+    ) -> tuple[dict | None, bool]:
+        """Returns ``(reply, keep_open)``."""
+        kind = frame["type"]
+        if kind == protocol.HELLO:
+            return self._handle_hello(frame, session_conn), True
+        if kind == protocol.PING:
+            return {"type": protocol.PONG, "id": frame.get("id")}, True
+        if kind == protocol.STATS:
+            return self._handle_stats(frame), True
+        if kind == protocol.GOODBYE:
+            return {"type": protocol.BYE, "reason": "goodbye"}, False
+        if kind in (protocol.QUERY, protocol.EXEC):
+            return await self._handle_statement(frame, session_conn)
+        return (
+            _error(
+                frame,
+                protocol.ERR_BAD_REQUEST,
+                f"unknown message type {kind!r}",
+            ),
+            True,
+        )
+
+    def _handle_hello(
+        self, frame: dict, session_conn: GatewayConnection | None
+    ) -> dict | "_Authenticated":
+        if session_conn is not None:
+            return _error(frame, protocol.ERR_BAD_REQUEST, "connection already bound")
+        version = frame.get("version")
+        if version != protocol.PROTOCOL_VERSION:
+            return _error(
+                frame,
+                protocol.ERR_BAD_VERSION,
+                f"server speaks protocol {protocol.PROTOCOL_VERSION}, client sent"
+                f" {version!r}",
+            )
+        bindings = frame.get("bindings")
+        if not isinstance(bindings, dict) or not bindings:
+            return _error(
+                frame,
+                protocol.ERR_BAD_REQUEST,
+                "HELLO needs a non-empty 'bindings' object",
+            )
+        fresh = bool(frame.get("fresh", False))
+        connection = self.gateway.connect(bindings, fresh=fresh)
+        key = tuple(sorted(bindings.items()))
+        welcome = {
+            "type": protocol.WELCOME,
+            "version": protocol.PROTOCOL_VERSION,
+            "session": dict(bindings),
+        }
+        return _Authenticated(connection=connection, key=key, welcome=welcome)
+
+    def _handle_stats(self, frame: dict) -> dict:
+        gateway_snapshot = self.gateway.snapshot()
+        return {
+            "type": protocol.STATS,
+            "id": frame.get("id"),
+            "net": self.metrics.to_wire(),
+            "gateway": {
+                "counters": gateway_snapshot.counters,
+                "view_checks": gateway_snapshot.view_checks,
+                "stages": gateway_snapshot.stages,
+            },
+            "cache_hit_rate": self.gateway.cache_hit_rate(),
+        }
+
+    async def _handle_statement(
+        self, frame: dict, session_conn: GatewayConnection | None
+    ) -> tuple[dict | None, bool]:
+        if session_conn is None:
+            return (
+                _error(frame, protocol.ERR_UNAUTHENTICATED, "send HELLO first"),
+                True,
+            )
+        sql = frame.get("sql")
+        if not isinstance(sql, str):
+            return _error(frame, protocol.ERR_BAD_REQUEST, "'sql' must be a string"), True
+        args = frame.get("args") or []
+        named = frame.get("named")
+        if not isinstance(args, list) or not (named is None or isinstance(named, dict)):
+            return (
+                _error(
+                    frame,
+                    protocol.ERR_BAD_REQUEST,
+                    "'args' must be a list and 'named' an object",
+                ),
+                True,
+            )
+        if self.draining:
+            self.metrics.increment("requests_shed")
+            return (
+                _error(frame, protocol.ERR_SHUTTING_DOWN, "server is draining"),
+                True,
+            )
+        if self._in_flight >= self.config.max_in_flight:
+            # Shed instead of queueing: the caller finds out *now*.
+            self.metrics.increment("requests_shed")
+            return (
+                _error(
+                    frame,
+                    protocol.ERR_OVERLOADED,
+                    f"{self._in_flight} statements in flight (bound"
+                    f" {self.config.max_in_flight}); retry with backoff",
+                ),
+                True,
+            )
+        return await self._execute(frame, session_conn, sql, args, named)
+
+    async def _execute(
+        self,
+        frame: dict,
+        session_conn: GatewayConnection,
+        sql: str,
+        args: list,
+        named: dict | None,
+    ) -> tuple[dict | None, bool]:
+        assert self._loop is not None and self._pool is not None
+        want_select = frame["type"] == protocol.QUERY
+        lock = self._lock_for(session_conn)
+        delay = self.config.execute_delay_s
+
+        def work():
+            with lock:
+                if delay:
+                    time.sleep(delay)
+                if want_select:
+                    return session_conn.query(sql, args, named)
+                return session_conn.sql(sql, args, named)
+
+        self._in_flight += 1
+        self.metrics.request_started()
+        started = time.perf_counter()
+        future = self._loop.run_in_executor(self._pool, work)
+        future.add_done_callback(self._statement_finished)
+        try:
+            outcome = await asyncio.wait_for(
+                asyncio.shield(future), self.config.request_timeout_s
+            )
+        except asyncio.TimeoutError:
+            # The worker thread cannot be cancelled; the session object may
+            # still be busy, so this connection must not carry more
+            # statements. The slot frees when the orphan finishes
+            # (_statement_finished).
+            self.metrics.increment("requests_timed_out")
+            return (
+                _error(
+                    frame,
+                    protocol.ERR_TIMEOUT,
+                    f"statement exceeded the {self.config.request_timeout_s:.3f}s"
+                    " deadline; connection closed",
+                ),
+                False,
+            )
+        except PolicyViolation as violation:
+            self.metrics.increment("requests_blocked")
+            self.metrics.observe_request(time.perf_counter() - started)
+            decision = violation.decision
+            return (
+                {
+                    "type": protocol.BLOCKED,
+                    "id": frame.get("id"),
+                    "sql": decision.sql,
+                    "reason": decision.reason,
+                    "cached": decision.from_cache,
+                },
+                True,
+            )
+        except DbacError as exc:
+            self.metrics.increment("requests_failed")
+            self.metrics.observe_request(time.perf_counter() - started)
+            return _error(frame, protocol.ERR_ENGINE, str(exc)), True
+        except Exception as exc:  # pragma: no cover - defensive
+            logger.exception("statement execution failed unexpectedly")
+            self.metrics.increment("requests_failed")
+            return _error(frame, protocol.ERR_INTERNAL, str(exc)), True
+        self.metrics.increment("requests_ok")
+        self.metrics.observe_request(time.perf_counter() - started)
+        reply: dict = {"type": protocol.RESULT, "id": frame.get("id")}
+        if isinstance(outcome, int):
+            reply["rowcount"] = outcome
+        else:
+            reply["columns"] = list(outcome.columns)
+            reply["rows"] = [list(row) for row in outcome.rows]
+        return reply, True
+
+    def _statement_finished(self, _future: asyncio.Future) -> None:
+        """Runs on the loop thread when a worker statement completes."""
+        self._in_flight -= 1
+        self.metrics.request_finished()
+        if _future.cancelled():
+            return
+        _future.exception()  # orphaned timeouts: mark retrieved
+
+    def _lock_for(self, session_conn: GatewayConnection) -> threading.Lock:
+        key = tuple(sorted(session_conn.session.bindings.items()))
+        with self._session_locks_guard:
+            lock = self._session_locks.get(key)
+            if lock is None:
+                lock = self._session_locks[key] = threading.Lock()
+            return lock
+
+    # -- plumbing -----------------------------------------------------------------
+
+    async def _send(self, writer: asyncio.StreamWriter, message: dict) -> None:
+        try:
+            writer.write(protocol.encode_frame(message))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError) as exc:
+            raise ConnectionClosed() from exc
+
+
+@dataclass
+class _Authenticated:
+    """Internal: a successful HELLO carrying the bound session."""
+
+    connection: GatewayConnection
+    key: tuple
+    welcome: dict
+
+
+def _error(frame: dict, code: str, message: str) -> dict:
+    return {
+        "type": protocol.ERROR,
+        "id": frame.get("id"),
+        "code": code,
+        "error": message,
+    }
+
+
+# --------------------------------------------------------------------------
+# Running a server off the main thread (tests, benchmarks, embedding)
+# --------------------------------------------------------------------------
+
+
+class BackgroundServer:
+    """A :class:`NetServer` on a dedicated event-loop thread.
+
+    The blocking client and the benchmarks need a live server in the
+    same process; this wrapper owns the loop thread and exposes
+    ``host``/``port`` once :meth:`start` returns. Use as a context
+    manager for deterministic teardown (graceful drain included).
+    """
+
+    def __init__(self, gateway: EnforcementGateway, config: ServerConfig | None = None):
+        self.server = NetServer(gateway, config)
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._startup_error: BaseException | None = None
+        self.port: int | None = None
+
+    @property
+    def host(self) -> str:
+        return self.server.config.host
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()), name="repro-net-server"
+        )
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        if self.port is None:
+            raise NetError("server failed to start within 10s")
+        return self
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.port = self.server.port
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.shutdown()
+
+    def stop(self) -> None:
+        """Graceful drain, then join the loop thread. Idempotent."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30.0)
+        self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

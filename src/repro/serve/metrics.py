@@ -14,6 +14,7 @@ are tens" resolution the experiments need.
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -33,13 +34,13 @@ class LatencyHistogram:
         self.max_seconds = 0.0
 
     def observe(self, seconds: float) -> None:
+        # bisect_left finds the first bound >= the value, so a value at
+        # exactly a bucket's upper bound lands *in* that bucket and a
+        # value above the largest bound lands in the overflow bucket
+        # (index == len(bounds)) — never in the last bounded bucket.
+        # Regression-tested at the exact top bound in tests/serve.
         micros = seconds * 1e6
-        index = 0
-        for index, bound in enumerate(_BUCKET_BOUNDS_US):
-            if micros <= bound:
-                break
-        else:
-            index = len(_BUCKET_BOUNDS_US)
+        index = bisect_left(_BUCKET_BOUNDS_US, micros)
         self._counts[index] += 1
         self.count += 1
         self.total_seconds += seconds

@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING
 
 from repro.enforce.cache import DecisionCache
 from repro.enforce.decision import PolicyViolation
-from repro.enforce.proxy import EnforcementProxy, Session
+from repro.enforce.proxy import EnforcementProxy, ProxyConfig, Session
 from repro.enforce.baselines import DirectConnection, RowLevelSecurityProxy
 from repro.engine.connection import Connection
 from repro.engine.database import Database
@@ -133,8 +133,7 @@ class AppRunner:
                 self.db,
                 self.policy,
                 Session(bindings),
-                history_enabled=self.history_enabled,
-                cache=self.cache,
+                ProxyConfig(history_enabled=self.history_enabled, cache=self.cache),
             )
             if self.fresh_session_per_request:
                 return proxy

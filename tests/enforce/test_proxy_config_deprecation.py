@@ -1,0 +1,78 @@
+"""Legacy EnforcementProxy kwargs: deprecated but still honored.
+
+The individual ``history_enabled`` / ``cache`` / ``record_decisions``
+constructor keywords predate :class:`ProxyConfig`. They must (a) emit a
+``DeprecationWarning`` naming the offending keyword and (b) override the
+matching field of whatever ``config`` was passed, so old call sites keep
+their exact behavior until they migrate.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.enforce import EnforcementProxy, ProxyConfig, Session
+from repro.enforce.cache import DecisionCache
+
+
+@pytest.fixture
+def make_proxy(calendar_db, calendar_policy):
+    def factory(config=None, **kwargs):
+        return EnforcementProxy(
+            calendar_db, calendar_policy, Session.for_user(1), config, **kwargs
+        )
+
+    return factory
+
+
+class TestLegacyKwargsWarn:
+    def test_history_enabled_warns_and_overrides(self, make_proxy):
+        with pytest.warns(DeprecationWarning, match="history_enabled"):
+            proxy = make_proxy(ProxyConfig(history_enabled=True), history_enabled=False)
+        assert proxy.config.history_enabled is False
+        assert proxy.checker.history_enabled is False
+
+    def test_cache_warns_and_overrides(self, make_proxy, calendar_policy):
+        cache = DecisionCache(calendar_policy)
+        with pytest.warns(DeprecationWarning, match="cache"):
+            proxy = make_proxy(ProxyConfig(cache=None), cache=cache)
+        assert proxy.config.cache is cache
+        assert proxy.cache is cache  # deprecated accessor agrees
+
+    def test_record_decisions_warns_and_overrides(self, make_proxy):
+        with pytest.warns(DeprecationWarning, match="record_decisions"):
+            proxy = make_proxy(ProxyConfig(record_decisions=False), record_decisions=True)
+        assert proxy.config.record_decisions is True
+
+    def test_multiple_kwargs_warn_once_naming_all(self, make_proxy):
+        with pytest.warns(DeprecationWarning) as captured:
+            make_proxy(history_enabled=False, record_decisions=True)
+        messages = [str(w.message) for w in captured]
+        assert len(messages) == 1
+        assert "history_enabled" in messages[0]
+        assert "record_decisions" in messages[0]
+
+    def test_other_config_fields_survive_an_override(self, make_proxy):
+        with pytest.warns(DeprecationWarning):
+            proxy = make_proxy(
+                ProxyConfig(history_enabled=False, decision_log_cap=7),
+                record_decisions=True,
+            )
+        assert proxy.config.history_enabled is False
+        assert proxy.config.decision_log_cap == 7
+        assert proxy.config.record_decisions is True
+
+
+class TestModernPathIsQuiet:
+    def test_config_only_emits_no_warning(self, make_proxy):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            proxy = make_proxy(ProxyConfig(history_enabled=False, record_decisions=True))
+        assert proxy.config.record_decisions is True
+
+    def test_defaults_emit_no_warning(self, make_proxy):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            make_proxy()

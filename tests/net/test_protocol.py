@@ -1,0 +1,66 @@
+"""Framing and message hygiene for the wire protocol."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.net import protocol
+from repro.net.protocol import (
+    FrameTooLarge,
+    NetError,
+    decode_payload,
+    encode_frame,
+)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = {"type": "QUERY", "id": 3, "sql": "SELECT 1", "args": [1, "x", None]}
+        frame = encode_frame(message)
+        length = struct.unpack(">I", frame[:4])[0]
+        assert length == len(frame) - 4
+        assert decode_payload(frame[4:]) == message
+
+    def test_unicode_survives(self):
+        message = {"type": "EXEC", "sql": "SELECT 'héllo — ünïcode'"}
+        frame = encode_frame(message)
+        assert decode_payload(frame[4:]) == message
+
+    def test_length_counts_payload_bytes_not_characters(self):
+        frame = encode_frame({"type": "PING", "note": "é" * 10})
+        length = struct.unpack(">I", frame[:4])[0]
+        assert length == len(frame[4:])  # UTF-8 bytes, not code points
+
+
+class TestPayloadHygiene:
+    def test_invalid_json_is_malformed(self):
+        with pytest.raises(NetError) as excinfo:
+            decode_payload(b"{not json")
+        assert excinfo.value.code == protocol.ERR_MALFORMED
+
+    def test_non_object_payload_is_malformed(self):
+        with pytest.raises(NetError) as excinfo:
+            decode_payload(b"[1, 2, 3]")
+        assert excinfo.value.code == protocol.ERR_MALFORMED
+
+    def test_missing_type_is_malformed(self):
+        with pytest.raises(NetError) as excinfo:
+            decode_payload(b'{"id": 1}')
+        assert excinfo.value.code == protocol.ERR_MALFORMED
+
+    def test_non_utf8_is_malformed(self):
+        with pytest.raises(NetError) as excinfo:
+            decode_payload(b"\xff\xfe\x00")
+        assert excinfo.value.code == protocol.ERR_MALFORMED
+
+
+class TestLimits:
+    def test_frame_too_large_carries_sizes(self):
+        error = FrameTooLarge(declared=5000, limit=1024)
+        assert error.code == protocol.ERR_OVERSIZED
+        assert error.declared == 5000 and error.limit == 1024
+
+    def test_version_is_an_integer(self):
+        assert isinstance(protocol.PROTOCOL_VERSION, int)

@@ -1,0 +1,112 @@
+"""SharedDecisionCache: write-driven invalidation racing concurrent readers.
+
+The serving claim under test: a writer evicting a table's decision
+templates while N reader threads are hitting the cache must (a) never
+let an exception escape any thread, (b) never leave a stale template for
+the written table behind once the final invalidation completes, and
+(c) never serve a decision the uncached checker would disagree with
+(``verify_cached_decisions`` re-checks every hit on the spot).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import EnforcementGateway, GatewayConfig
+from repro.workloads import calendar_app
+
+READERS = 6
+ROUNDS = 40
+
+
+@pytest.fixture
+def gateway(calendar_policy):
+    db = calendar_app.make_database(size=READERS + 2, seed=3)
+    return EnforcementGateway(
+        db, calendar_policy, GatewayConfig(verify_cached_decisions=True)
+    )
+
+
+def cached_tables(cache) -> set[str]:
+    with cache._lock:
+        return {
+            table
+            for templates in cache._templates.values()
+            for template in templates
+            for table in template.tables
+        }
+
+
+class TestInvalidationRace:
+    def test_readers_race_a_writer_without_stale_survivors(self, gateway):
+        start = threading.Barrier(READERS + 1)
+        errors: list[BaseException] = []
+
+        def reader(uid: int) -> None:
+            try:
+                connection = gateway.connect(uid)
+                start.wait()
+                for _ in range(ROUNDS):
+                    connection.query("SELECT EId FROM Attendance WHERE UId = ?", [uid])
+            except BaseException as exc:  # noqa: BLE001 - collected for the assert
+                errors.append(exc)
+
+        def writer() -> None:
+            try:
+                connection = gateway.connect(READERS + 1)
+                start.wait()
+                for _ in range(ROUNDS):
+                    connection.sql("UPDATE Attendance SET UId = UId")
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reader, args=(uid,)) for uid in range(1, READERS + 1)
+        ] + [threading.Thread(target=writer)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors, errors
+        # (c) every cache hit taken during the race was re-verified against
+        # the uncached checker; none may disagree.
+        assert gateway.metrics.counter("cache_disagreements") == 0
+        # The race exercised both sides: decisions were cached and evicted.
+        assert gateway.shared_cache.stores > 0
+        assert gateway.metrics.counter("templates_invalidated") > 0
+
+        # (b) a final write runs its invalidation inside the write lock;
+        # afterwards no template touching the written table may survive.
+        gateway.connect(READERS + 1).sql("UPDATE Attendance SET UId = UId")
+        assert "Attendance" not in cached_tables(gateway.shared_cache)
+
+    def test_eviction_is_atomic_with_respect_to_lookups(self, gateway):
+        """A lookup never observes a half-evicted bucket: it either hits a
+        live template or misses; both re-verify clean against the checker."""
+        connection = gateway.connect(1)
+        connection.query("SELECT EId FROM Attendance WHERE UId = 1")
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def churn() -> None:
+            try:
+                while not stop.is_set():
+                    gateway.shared_cache.invalidate_table("Attendance")
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        churner = threading.Thread(target=churn)
+        churner.start()
+        try:
+            for uid in range(2, READERS + 2):
+                reader = gateway.connect(uid)
+                for _ in range(ROUNDS):
+                    reader.query("SELECT EId FROM Attendance WHERE UId = ?", [uid])
+        finally:
+            stop.set()
+            churner.join()
+        assert not errors, errors
+        assert gateway.metrics.counter("cache_disagreements") == 0
