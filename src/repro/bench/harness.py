@@ -9,9 +9,34 @@ when the directory exists, for post-processing.
 from __future__ import annotations
 
 import os
+import platform
+import subprocess
 from collections.abc import Sequence
 
 _RESULTS_DIR = os.environ.get("DBAC_BENCH_RESULTS", "bench_results")
+
+
+def provenance_lines() -> list[str]:
+    """``#``-comment header lines stamped into every recorded TSV.
+
+    Benchmark numbers are meaningless without knowing what produced
+    them: the commit, the interpreter, and how many cores the machine
+    had (E13's worker-scaling results especially).
+    """
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        commit = "unknown"
+    return [
+        f"# commit: {commit}",
+        f"# python: {platform.python_version()}",
+        f"# cpus: {os.cpu_count()}",
+    ]
 
 
 def format_cell(value: object) -> str:
@@ -72,6 +97,8 @@ def record_result(
         return
     path = os.path.join(_RESULTS_DIR, f"{experiment}.tsv")
     with open(path, "w", encoding="utf-8") as handle:
+        for line in provenance_lines():
+            handle.write(line + "\n")
         handle.write("\t".join(str(h) for h in headers) + "\n")
         for row in rows:
             handle.write("\t".join(str(c) for c in row) + "\n")

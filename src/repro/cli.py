@@ -199,13 +199,17 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         GatewayConfig(
             cache_mode=args.cache,
             verify_cached_decisions=args.verify,
+            check_workers=args.check_workers,
         ),
     )
     driver = WorkloadDriver(
         app, gateway, workers=args.workers, write_every=args.write_every
     )
     requests = app.request_stream(db, random.Random(args.seed), args.requests)
-    report = driver.run(requests)
+    try:
+        report = driver.run(requests)
+    finally:
+        gateway.close()
     print(
         f"app={app.name} cache={args.cache} requests={report.requests}"
         f" sessions={report.sessions} workers={report.workers}"
@@ -239,7 +243,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     app, db = _load_app(args.app, args.size, args.seed)
     policy = app.ground_truth_policy()
     gateway = EnforcementGateway(
-        db, policy, GatewayConfig(cache_mode=args.cache)
+        db, policy, GatewayConfig(cache_mode=args.cache, check_workers=args.check_workers)
     )
     config = ServerConfig(
         host=args.host,
@@ -268,6 +272,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             await server.serve_forever()
         finally:
             await server.shutdown()
+            gateway.close()
             snapshot = server.metrics.snapshot()
             print("drained; net counters:")
             for name in sorted(snapshot.counters):
@@ -399,6 +404,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-check every cache hit with the full checker; exit 1 on disagreement",
     )
+    serve.add_argument(
+        "--check-workers",
+        type=int,
+        default=0,
+        help="checker worker processes for cache misses (0 = in-process)",
+    )
     serve.set_defaults(func=cmd_serve_bench)
 
     net = sub.add_parser(
@@ -432,6 +443,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["shared", "per-session", "none"],
         default="shared",
         help="decision-cache configuration",
+    )
+    net.add_argument(
+        "--check-workers",
+        type=int,
+        default=0,
+        help="checker worker processes for cache misses (0 = in-process)",
     )
     net.set_defaults(func=cmd_serve)
 

@@ -20,11 +20,25 @@ constants — same equalities, same distinctness — remains valid, provided:
 
 Block decisions are not cached: blocking depends on the *absence* of
 helpful trace facts, which a growing trace can invalidate.
+
+Indexing. Two structures keep the hot paths sublinear at scale:
+
+* Per skeleton key, a **pinned-slot discrimination index**
+  (:class:`_SkeletonIndex`): templates are grouped by *which* slots they
+  pin, and within a group selected by one dict probe on the pinned
+  values — so a lookup touches only templates whose pins already match,
+  instead of value-scanning every template under the key.
+* A ``table -> {skeleton_key}`` **reverse index** so
+  :meth:`DecisionCache.invalidate_table` visits only the keys whose
+  templates actually touch the written table (O(affected), not a scan of
+  the whole cache). ``invalidate_keys_scanned`` counts the keys visited,
+  so tests can assert unaffected keys are never examined.
 """
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+import time
+from collections.abc import Iterator, Mapping
 from dataclasses import dataclass
 
 from repro.enforce.decision import Decision
@@ -32,6 +46,7 @@ from repro.enforce.trace import Trace, is_labeled_null
 from repro.policy.policy import Policy
 from repro.relalg.cq import Atom, Const
 from repro.sqlir import ast
+from repro.sqlir.printer import to_sql
 from repro.sqlir.skeleton import Skeleton, skeletonize
 
 # A fact-pattern argument: ("const", value) | ("slot", i) | ("param", name)
@@ -54,15 +69,100 @@ class _Template:
     tables: frozenset[str] = frozenset()
 
 
+class _SkeletonIndex:
+    """Discrimination index over one skeleton key's templates.
+
+    ``groups`` maps a pinned slot-index tuple to a dict keyed by the
+    corresponding pinned-value tuples; one hash probe per group replaces
+    the per-template pinned-value scan. The dict is keyed by *raw* values
+    (not :func:`_value_key`) deliberately: the linear scan compared
+    pinned values with ``!=``, under which ``True`` matches ``1`` — dict
+    equality preserves exactly those semantics. Each template carries an
+    insertion sequence number so candidates from different groups merge
+    back into exact insertion order.
+    """
+
+    __slots__ = ("groups", "count")
+
+    def __init__(self) -> None:
+        self.groups: dict[tuple[int, ...], dict[tuple, list[tuple[int, _Template]]]] = {}
+        self.count = 0
+
+    def add(self, seq: int, template: _Template) -> None:
+        slots = tuple(index for index, _ in template.pinned)
+        values = tuple(value for _, value in template.pinned)
+        self.groups.setdefault(slots, {}).setdefault(values, []).append((seq, template))
+        self.count += 1
+
+    def candidates(self, values: tuple[object, ...]) -> list[_Template]:
+        """Templates whose pinned slots match ``values``, in insertion order."""
+        if len(self.groups) == 1:
+            # Common case: every template under this key pins the same slots.
+            ((slots, by_value),) = self.groups.items()
+            entries = by_value.get(tuple(values[i] for i in slots), ())
+            return [template for _, template in entries]
+        matched: list[tuple[int, _Template]] = []
+        for slots, by_value in self.groups.items():
+            entries = by_value.get(tuple(values[i] for i in slots))
+            if entries:
+                matched.extend(entries)
+        matched.sort(key=lambda entry: entry[0])
+        return [template for _, template in matched]
+
+    def evict_touching(self, table: str) -> tuple[int, set[str]]:
+        """Drop templates touching ``table``; returns (count, their tables)."""
+        evicted = 0
+        removed_tables: set[str] = set()
+        for slots in list(self.groups):
+            by_value = self.groups[slots]
+            for values in list(by_value):
+                entries = by_value[values]
+                kept = [(s, t) for s, t in entries if table not in t.tables]
+                if len(kept) == len(entries):
+                    continue
+                for _, template in entries:
+                    if table in template.tables:
+                        removed_tables |= template.tables
+                evicted += len(entries) - len(kept)
+                if kept:
+                    by_value[values] = kept
+                else:
+                    del by_value[values]
+            if not by_value:
+                del self.groups[slots]
+        self.count -= evicted
+        return evicted, removed_tables
+
+    def tables(self) -> set[str]:
+        """Union of the tables of all remaining templates."""
+        remaining: set[str] = set()
+        for by_value in self.groups.values():
+            for entries in by_value.values():
+                for _, template in entries:
+                    remaining |= template.tables
+        return remaining
+
+    def templates(self) -> Iterator[_Template]:
+        for by_value in self.groups.values():
+            for entries in by_value.values():
+                for _, template in entries:
+                    yield template
+
+
 class DecisionCache:
     """Maps query skeletons to decision templates."""
 
     def __init__(self, policy: Policy):
-        self._templates: dict[object, list[_Template]] = {}
+        self._index: dict[object, _SkeletonIndex] = {}
+        self._by_table: dict[str, set[object]] = {}
         self._view_constants = policy.constants()
+        self._seq = 0
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        #: Skeleton keys visited by invalidate_table — the instrumentation
+        #: the O(affected) claim is asserted against.
+        self.invalidate_keys_scanned = 0
 
     # -- lookup ---------------------------------------------------------------
 
@@ -72,21 +172,24 @@ class DecisionCache:
         bindings: Mapping[str, object],
         trace: Trace | None,
     ) -> Decision | None:
+        started = time.perf_counter()
         skeleton = skeletonize(stmt)
-        key = skeleton.statement
-        candidates = self._templates.get(key, ())
-        param_items = sorted(bindings.items())
-        for template in candidates:
-            if self._matches(template, skeleton, param_items, trace):
-                self.hits += 1
-                from repro.sqlir.printer import to_sql
-
-                return Decision(
-                    allowed=True,
-                    sql=to_sql(stmt),
-                    reason=template.reason,
-                    from_cache=True,
-                )
+        index = self._index.get(skeleton.statement)
+        if index is not None:
+            param_items = sorted(bindings.items())
+            # Computed once per lookup; every candidate shares them.
+            partition = _equality_partition(skeleton.values, param_items)
+            params = dict(param_items)
+            for template in index.candidates(skeleton.values):
+                if self._matches(template, skeleton, partition, params, trace):
+                    self.hits += 1
+                    return Decision(
+                        allowed=True,
+                        sql=to_sql(stmt),
+                        reason=template.reason,
+                        from_cache=True,
+                        duration_s=time.perf_counter() - started,
+                    )
         self.misses += 1
         return None
 
@@ -94,19 +197,18 @@ class DecisionCache:
         self,
         template: _Template,
         skeleton: Skeleton,
-        param_items: list[tuple[str, object]],
+        partition: tuple[tuple[int, ...], ...],
+        params: dict[str, object],
         trace: Trace | None,
     ) -> bool:
-        for index, value in template.pinned:
-            if skeleton.values[index] != value:
-                return False
-        if _equality_partition(skeleton.values, param_items) != template.equality_pattern:
+        # Pinned values already matched: the discrimination index only
+        # yields templates whose pinned slots equal the skeleton's values.
+        if partition != template.equality_pattern:
             return False
         if template.fact_patterns:
             if trace is None:
                 return False
             facts = trace.facts
-            params = dict(param_items)
             for rel, pattern_args in template.fact_patterns:
                 if not any(
                     _fact_matches(fact, rel, pattern_args, skeleton.values, params)
@@ -132,12 +234,11 @@ class DecisionCache:
         for index, value in enumerate(skeleton.values):
             if not skeleton.generalizable[index] or value in self._view_constants:
                 pinned.append((index, value))
+        slot_of, param_of = _reference_maps(skeleton.values, param_items)
         fact_patterns = []
         tables = {ref.name for ref in stmt.tables()}
         for fact in decision.facts_used:
-            fact_patterns.append(
-                (fact.rel, _pattern_of(fact, skeleton.values, param_items))
-            )
+            fact_patterns.append((fact.rel, _pattern_of(fact, slot_of, param_of)))
             tables.add(fact.rel)
         template = _Template(
             skeleton_key=skeleton.statement,
@@ -147,7 +248,15 @@ class DecisionCache:
             reason=decision.reason + " [template]",
             tables=frozenset(tables),
         )
-        self._templates.setdefault(skeleton.statement, []).append(template)
+        self._insert_template(template)
+
+    def _insert_template(self, template: _Template) -> None:
+        """Index a ready-made template (shared by store and benchmarks)."""
+        index = self._index.setdefault(template.skeleton_key, _SkeletonIndex())
+        index.add(self._seq, template)
+        self._seq += 1
+        for table in template.tables:
+            self._by_table.setdefault(table, set()).add(template.skeleton_key)
 
     # -- invalidation ----------------------------------------------------------
 
@@ -160,31 +269,51 @@ class DecisionCache:
         wants freshly-written data vetted by a fresh check rather than a
         months-old template, and conservative eviction keeps the cache
         from accumulating templates for churned tables.
+
+        Only skeleton keys listed in the reverse index for ``table`` are
+        visited; keys with no template touching the table are never
+        examined (see ``invalidate_keys_scanned``).
         """
         evicted = 0
-        for key in list(self._templates):
-            templates = self._templates[key]
-            kept = [t for t in templates if table not in t.tables]
-            if len(kept) == len(templates):
-                continue
-            evicted += len(templates) - len(kept)
-            if kept:
-                self._templates[key] = kept
+        for key in self._by_table.pop(table, ()):
+            self.invalidate_keys_scanned += 1
+            index = self._index[key]
+            dropped, removed_tables = index.evict_touching(table)
+            evicted += dropped
+            if index.count:
+                remaining_tables = index.tables()
             else:
-                del self._templates[key]
+                del self._index[key]
+                remaining_tables = set()
+            # Unlink this key from the other tables of the evicted
+            # templates, unless a surviving template still touches them.
+            for other in removed_tables:
+                if other == table or other in remaining_tables:
+                    continue
+                bucket = self._by_table.get(other)
+                if bucket is not None:
+                    bucket.discard(key)
+                    if not bucket:
+                        del self._by_table[other]
         self.invalidations += evicted
         return evicted
 
     def clear(self) -> int:
         """Drop every template (counts as invalidation); returns the count."""
         dropped = self.size
-        self._templates.clear()
+        self._index.clear()
+        self._by_table.clear()
         self.invalidations += dropped
         return dropped
 
+    def iter_templates(self) -> Iterator[_Template]:
+        """All live templates, in no particular order."""
+        for index in self._index.values():
+            yield from index.templates()
+
     @property
     def size(self) -> int:
-        return sum(len(templates) for templates in self._templates.values())
+        return sum(index.count for index in self._index.values())
 
     @property
     def hit_rate(self) -> float:
@@ -220,33 +349,41 @@ def _value_key(value: object) -> object:
     return (type(value).__name__, value)
 
 
+def _reference_maps(
+    values: tuple[object, ...], param_items: list[tuple[str, object]]
+) -> tuple[dict[object, int], dict[object, str]]:
+    """First-occurrence value-key → slot index / param name maps.
+
+    Built once per :meth:`DecisionCache.store`; ``setdefault`` keeps the
+    *first* matching slot/param for a value, matching the order the old
+    linear ``next(...)`` scans would have found.
+    """
+    slot_of: dict[object, int] = {}
+    for index, value in enumerate(values):
+        slot_of.setdefault(_value_key(value), index)
+    param_of: dict[object, str] = {}
+    for name, value in param_items:
+        param_of.setdefault(_value_key(value), name)
+    return slot_of, param_of
+
+
 def _pattern_of(
     fact: Atom,
-    values: tuple[object, ...],
-    param_items: list[tuple[str, object]],
+    slot_of: dict[object, int],
+    param_of: dict[object, str],
 ) -> tuple[_PatternArg, ...]:
-    params = {name: value for name, value in param_items}
     pattern: list[_PatternArg] = []
     for arg in fact.args:
         if is_labeled_null(arg):
             pattern.append(("any", None))
             continue
         if isinstance(arg, Const):
-            slot = next(
-                (i for i, v in enumerate(values) if _value_key(v) == _value_key(arg.value)),
-                None,
-            )
+            key = _value_key(arg.value)
+            slot = slot_of.get(key)
             if slot is not None:
                 pattern.append(("slot", slot))
                 continue
-            param_name = next(
-                (
-                    name
-                    for name, value in params.items()
-                    if _value_key(value) == _value_key(arg.value)
-                ),
-                None,
-            )
+            param_name = param_of.get(key)
             if param_name is not None:
                 pattern.append(("param", param_name))
                 continue

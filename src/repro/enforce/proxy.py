@@ -229,7 +229,7 @@ class EnforcementProxy:
                 self._record_stage("check", seconds)
                 self._observe_decision(cached, bound)
                 return cached
-        decision = self.checker.check(bound, self.session.bindings, trace)
+        decision = self._check_fresh(bound, trace)
         if cache is not None:
             cache.store(bound, self.session.bindings, decision)
         seconds = time.perf_counter() - started
@@ -254,6 +254,14 @@ class EnforcementProxy:
 
     def _record_stage(self, stage: str, seconds: float) -> None:
         """Per-stage latency observation point; no-op outside the gateway."""
+
+    def _check_fresh(self, bound: ast.Select, trace: Trace | None) -> Decision:
+        """Run the full compliance check for a cache miss.
+
+        The gateway overrides this to offload onto a
+        :class:`~repro.serve.pool.CheckerPool` when one is configured.
+        """
+        return self.checker.check(bound, self.session.bindings, trace)
 
     def _observe_decision(self, decision: Decision, bound: ast.Select) -> None:
         """Decision observation point; no-op outside the gateway."""

@@ -52,6 +52,14 @@ class Trace:
         self._fact_set: set[Atom] = set()
         self._null_counter = 0
         self.max_facts = max_facts
+        #: Append-only log of fact-list mutations: ``("add", fact)`` when a
+        #: fact enters the list, ``("refresh", fact)`` when a re-certified
+        #: fact moves to the end. Facts dropped by the ``max_facts`` cap
+        #: emit nothing. Replaying the log reproduces the fact list (with
+        #: its recency order) exactly — the checker-pool protocol ships
+        #: ``events[cursor:]`` to worker processes instead of re-pickling
+        #: the whole trace on every check.
+        self.events: list[tuple[str, Atom]] = []
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -79,9 +87,11 @@ class Trace:
                 # most-recent-facts selection sees it again.
                 self._facts.remove(fact)
                 self._facts.append(fact)
+                self.events.append(("refresh", fact))
             elif len(self._facts) < self.max_facts:
                 self._fact_set.add(fact)
                 self._facts.append(fact)
+                self.events.append(("add", fact))
         return entry
 
     def relevant_facts(self, relations: set[str]) -> list[Atom]:

@@ -25,12 +25,31 @@ an atom ``R(3)`` of the container.
 
 from __future__ import annotations
 
+from repro.relalg import memo
 from repro.relalg.constraints import ConstraintSet
 from repro.relalg.cq import CQ, UCQ, Atom, Comp, Const, Param, Term, Var
 
 
 def cq_contained_in(q1: CQ, q2: CQ) -> bool:
-    """Is ``q1`` contained in ``q2`` (``q1 ⊑ q2``)? Sound, see module doc."""
+    """Is ``q1`` contained in ``q2`` (``q1 ⊑ q2``)? Sound, see module doc.
+
+    Results are memoized on the pair of canonical (alpha-renamed) forms:
+    containment is invariant under independent variable renaming of either
+    side and never reads ``name``/``head_names``, so alpha-equivalent
+    pairs share one cached answer.
+    """
+    if not memo.memoization_enabled():
+        return _cq_contained_in_uncached(q1, q2)
+    key = (memo.canonical_form(q1)[0], memo.canonical_form(q2)[0])
+    cached = memo.CONTAINMENT_MEMO.get(key)
+    if cached is not memo.MISSING:
+        return cached  # type: ignore[return-value]
+    result = _cq_contained_in_uncached(q1, q2)
+    memo.CONTAINMENT_MEMO.put(key, result)
+    return result
+
+
+def _cq_contained_in_uncached(q1: CQ, q2: CQ) -> bool:
     if q1.arity != q2.arity:
         return False
     closure = ConstraintSet(q1.comps)
@@ -44,6 +63,8 @@ def containment_mapping(q1: CQ, q2: CQ) -> dict[Var, Term] | None:
     """Return a witnessing containment mapping for ``q1 ⊑ q2``, if found.
 
     Used by the diagnosis layer to explain *why* a query is compliant.
+    Never memoized: the witness is expressed over the callers' concrete
+    variables, which canonical-form keying would scramble.
     """
     if q1.arity != q2.arity:
         return None

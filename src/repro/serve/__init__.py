@@ -13,8 +13,11 @@ from repro.serve.cache import SharedDecisionCache
 from repro.serve.driver import DriveReport, WorkloadDriver, no_op_write_for
 from repro.serve.gateway import EnforcementGateway, GatewayConfig, GatewayConnection
 from repro.serve.metrics import GatewayMetrics, LatencyHistogram, MetricsSnapshot
+from repro.serve.pool import CheckerPool, CheckerPoolError
 
 __all__ = [
+    "CheckerPool",
+    "CheckerPoolError",
     "DriveReport",
     "EnforcementGateway",
     "GatewayConfig",

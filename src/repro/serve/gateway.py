@@ -39,8 +39,10 @@ from repro.enforce.proxy import EnforcementProxy, ProxyConfig, Session
 from repro.engine.database import Database
 from repro.engine.executor import Result
 from repro.policy.policy import Policy
+from repro.relalg import memo
 from repro.serve.cache import SharedDecisionCache
 from repro.serve.metrics import GatewayMetrics, MetricsSnapshot
+from repro.serve.pool import CheckerPool, CheckerPoolError
 from repro.sqlir import ast
 
 
@@ -55,6 +57,12 @@ class GatewayConfig:
     * ``"per-session"`` — a private :class:`DecisionCache` per session
       (the ablation the E11 benchmark compares against);
     * ``"none"`` — no decision caching at all.
+
+    ``check_workers`` > 0 offloads cache-miss compliance checks onto a
+    :class:`~repro.serve.pool.CheckerPool` of that many warm worker
+    processes; 0 (the default) keeps checking in-process. Pool failures
+    fall back to in-process checking transparently (counted as
+    ``pool_fallbacks`` in the metrics).
     """
 
     history_enabled: bool = True
@@ -62,10 +70,14 @@ class GatewayConfig:
     verify_cached_decisions: bool = False
     record_decisions: bool = False
     decision_log_cap: int = 256
+    check_workers: int = 0
+    check_timeout_s: float = 60.0
 
     def __post_init__(self) -> None:
         if self.cache_mode not in ("shared", "per-session", "none"):
             raise ValueError(f"unknown cache_mode {self.cache_mode!r}")
+        if self.check_workers < 0:
+            raise ValueError("check_workers must be >= 0")
 
 
 class GatewayConnection(EnforcementProxy):
@@ -79,6 +91,10 @@ class GatewayConnection(EnforcementProxy):
     ):
         super().__init__(gateway.db, gateway.policy, session, config)
         self._gateway = gateway
+        # Identifies this connection's trace to the checker pool; per
+        # connection (not per principal) because fresh sessions for the
+        # same principal have distinct traces.
+        self._pool_token = gateway._allocate_pool_token()
 
     # -- hooks wired into the gateway ------------------------------------------
 
@@ -109,10 +125,21 @@ class GatewayConnection(EnforcementProxy):
     def _verify_cached(self, decision: Decision, bound: ast.Select) -> None:
         """Replay a cache hit through the uncached checker and compare."""
         trace = self.trace if self.config.history_enabled else None
-        fresh = self.checker.check(bound, self.session.bindings, trace)
+        fresh = self._check_fresh(bound, trace)
         self._gateway.metrics.increment("cache_verified")
         if fresh.allowed != decision.allowed:
             self._gateway.metrics.increment("cache_disagreements")
+
+    def _check_fresh(self, bound: ast.Select, trace) -> Decision:
+        """Cache-miss check: pooled when configured, else in-process."""
+        pool = self._gateway.pool
+        if pool is None:
+            return super()._check_fresh(bound, trace)
+        try:
+            return pool.check(self._pool_token, self.session.bindings, bound, trace)
+        except CheckerPoolError:
+            self._gateway.metrics.increment("pool_fallbacks")
+            return super()._check_fresh(bound, trace)
 
 
 class EnforcementGateway:
@@ -137,6 +164,18 @@ class EnforcementGateway:
         # register a per-session cache.
         self._connect_lock = threading.RLock()
         self._write_lock = threading.RLock()
+        self._pool_tokens = 0
+        self.pool: CheckerPool | None = (
+            CheckerPool(
+                db.schema,
+                policy,
+                workers=self.config.check_workers,
+                history_enabled=self.config.history_enabled,
+                timeout_s=self.config.check_timeout_s,
+            )
+            if self.config.check_workers > 0
+            else None
+        )
 
     # -- session management -----------------------------------------------------
 
@@ -176,6 +215,13 @@ class EnforcementGateway:
             for connection in self._connections.values():
                 connection.close()
             self._connections.clear()
+        if self.pool is not None:
+            self.pool.close()
+
+    def _allocate_pool_token(self) -> int:
+        with self._connect_lock:
+            self._pool_tokens += 1
+            return self._pool_tokens
 
     def _normalize(self, session: Session | Mapping[str, object] | object) -> Session:
         if isinstance(session, Session):
@@ -250,6 +296,13 @@ class EnforcementGateway:
         if self.shared_cache is not None:
             for name, value in self.shared_cache.stats().items():
                 snapshot.counters[f"shared_cache_{name}"] = value
+        if self.pool is not None:
+            for name, value in self.pool.stats().items():
+                snapshot.counters[f"pool_{name}"] = value
+        # This process's rewriting-core memo counters (worker-side ones
+        # appear under pool_memo_* above).
+        for name, value in memo.memo_stats().items():
+            snapshot.counters[f"memo_{name}"] = value
         return snapshot
 
     def cache_hit_rate(self) -> float:

@@ -1,0 +1,350 @@
+"""A pool of warm checker processes: the multicore miss path.
+
+Cache misses are where the gateway burns CPU — a full compliance check
+(translation, view descriptor enumeration, containment search) per miss —
+and under the GIL all of it serializes onto one core no matter how many
+driver threads are live. :class:`CheckerPool` moves the miss path into
+worker *processes*: each worker builds its
+:class:`~repro.enforce.checker.ComplianceChecker` exactly once (policy
+and schema ship at spawn time) and then sits on a duplex pipe answering
+check requests, so steady-state dispatch cost is one small message per
+check, not one checker construction.
+
+Wire format per check (all plain picklable data):
+
+* the statement as **SQL text** — bound statements print losslessly
+  (literals inline) and re-parse on the worker, which is both smaller
+  and faster than pickling the AST;
+* the session trace as **incremental deltas**: the parent keeps a cursor
+  per (worker, session) into the session's
+  :attr:`~repro.enforce.trace.Trace.events` log and ships only the
+  events the worker has not seen. The worker replays them into a
+  :class:`_TraceReplica` — an exact reconstruction of the fact list,
+  including the recency reordering the checker's fact selection depends
+  on — so a long session's trace is never re-pickled whole.
+
+Failure containment: a worker that dies or stops answering is killed and
+respawned (its replicas and the parent-side cursors for it reset — the
+delta protocol re-syncs from zero on the next check), and the dispatch
+raises :class:`CheckerPoolError`, which the gateway catches to fall back
+to a plain in-process check. The pool can stall a caller, never wedge
+the gateway.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from collections.abc import Mapping, Sequence
+
+from repro.enforce.decision import Decision
+from repro.relalg.cq import Atom
+from repro.sqlir import ast
+from repro.sqlir.printer import to_sql
+from repro.util.errors import DbacError
+
+_STOP = ("stop",)
+
+
+class CheckerPoolError(DbacError):
+    """A pooled check could not be completed; callers should fall back."""
+
+
+class _TraceReplica:
+    """A worker-side reconstruction of one session's certified facts.
+
+    Replays the parent trace's event log verbatim: ``add`` appends,
+    ``refresh`` moves to the end. Because the parent only emits events
+    for mutations it actually performed (capped adds emit nothing), the
+    replica's fact list — contents *and* order — matches the parent's
+    exactly at every cursor position. Only the fact list is replicated;
+    the checker reads nothing else from a trace.
+    """
+
+    __slots__ = ("_facts", "_fact_set", "applied")
+
+    def __init__(self) -> None:
+        self._facts: list[Atom] = []
+        self._fact_set: set[Atom] = set()
+        self.applied = 0
+
+    def apply(self, events: Sequence[tuple[str, Atom]]) -> None:
+        for op, fact in events:
+            if op == "add":
+                if fact not in self._fact_set:
+                    self._fact_set.add(fact)
+                    self._facts.append(fact)
+            elif op == "refresh":
+                if fact in self._fact_set:
+                    self._facts.remove(fact)
+                    self._facts.append(fact)
+            else:  # pragma: no cover - protocol error
+                raise ValueError(f"unknown trace event {op!r}")
+            self.applied += 1
+
+    @property
+    def facts(self) -> tuple[Atom, ...]:
+        return tuple(self._facts)
+
+    def relevant_facts(self, relations: set[str]) -> list[Atom]:
+        return [fact for fact in self._facts if fact.rel in relations]
+
+
+def _worker_main(conn, schema, policy, history_enabled, max_candidates) -> None:
+    """Worker loop: build the checker once, answer checks until stopped."""
+    from repro.enforce.checker import ComplianceChecker
+    from repro.relalg import memo
+    from repro.sqlir.parser import parse_select
+
+    checker = ComplianceChecker(
+        schema, policy, history_enabled=history_enabled, max_candidates=max_candidates
+    )
+    replicas: dict[int, _TraceReplica] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message[0] == "stop":
+            return
+        _, token, bindings, sql, base, events, use_trace = message
+        replica: _TraceReplica | None = None
+        try:
+            if use_trace:
+                replica = replicas.get(token)
+                if replica is None:
+                    replica = replicas[token] = _TraceReplica()
+                if replica.applied != base:
+                    raise CheckerPoolError(
+                        f"trace cursor mismatch for session {token}:"
+                        f" worker at {replica.applied}, parent sent {base}"
+                    )
+                # Apply before anything can fail so the reply's cursor is
+                # truthful even when the check itself errors.
+                replica.apply(events)
+            decision = checker.check(parse_select(sql), dict(bindings), replica)
+            reply = ("ok", decision, _applied(replica), memo.memo_stats())
+        except Exception as exc:  # noqa: BLE001 - shipped back to the parent
+            reply = ("err", f"{type(exc).__name__}: {exc}", _applied(replica))
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+def _applied(replica: _TraceReplica | None) -> int:
+    return replica.applied if replica is not None else 0
+
+
+class _WorkerHandle:
+    """Parent-side handle for one worker process (mutated on restart)."""
+
+    __slots__ = ("index", "process", "conn")
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+
+
+class CheckerPool:
+    """Dispatches compliance checks to warm worker processes."""
+
+    def __init__(
+        self,
+        schema,
+        policy,
+        workers: int,
+        history_enabled: bool = True,
+        max_candidates: int = 2000,
+        timeout_s: float = 60.0,
+    ):
+        if workers < 1:
+            raise ValueError("CheckerPool needs at least one worker")
+        self._schema = schema
+        self._policy = policy
+        self._history_enabled = history_enabled
+        self._max_candidates = max_candidates
+        self._timeout_s = timeout_s
+        self.workers = workers
+        self.tasks_dispatched = 0
+        self.worker_restarts = 0
+        self.errors = 0
+        self._closed = False
+        # Per-(worker index, session token) cursor into the session's
+        # trace event log: how many events that worker has applied.
+        self._cursors: dict[tuple[int, int], int] = {}
+        # Latest memo counters reported by each worker (monotonic within
+        # a worker's lifetime; summed for the pool-wide view).
+        self._worker_memo: dict[int, dict[str, int]] = {}
+        self._handles = [self._spawn(index) for index in range(workers)]
+        self._idle: list[_WorkerHandle] = list(self._handles)
+        self._condition = threading.Condition()
+
+    # -- the one public operation -------------------------------------------------
+
+    def check(
+        self,
+        token: int,
+        bindings: Mapping[str, object],
+        stmt: ast.Select,
+        trace,
+    ) -> Decision:
+        """Run one compliance check on a pooled worker.
+
+        ``token`` identifies the session (its trace) for delta shipping;
+        ``trace`` is the parent-side :class:`~repro.enforce.trace.Trace`
+        or ``None`` for history-free checks. Raises
+        :class:`CheckerPoolError` when the pool cannot produce a decision
+        (worker died twice, timed out, or errored); callers fall back to
+        in-process checking.
+        """
+        sql = to_sql(stmt)
+        handle = self._acquire()
+        try:
+            return self._dispatch(handle, token, bindings, sql, trace)
+        finally:
+            self._release(handle)
+
+    # -- stats --------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Pool counters plus summed worker-side memoization counters."""
+        with self._condition:
+            flat = {
+                "workers": self.workers,
+                "tasks_dispatched": self.tasks_dispatched,
+                "worker_restarts": self.worker_restarts,
+                "errors": self.errors,
+            }
+            for counters in self._worker_memo.values():
+                for name, value in counters.items():
+                    flat[f"memo_{name}"] = flat.get(f"memo_{name}", 0) + value
+        return flat
+
+    def close(self) -> None:
+        """Stop every worker; idempotent."""
+        with self._condition:
+            if self._closed:
+                return
+            self._closed = True
+            self._condition.notify_all()
+        for handle in self._handles:
+            try:
+                handle.conn.send(_STOP)
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in self._handles:
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=2.0)
+            handle.conn.close()
+
+    # -- internals ----------------------------------------------------------------
+
+    def _spawn(self, index: int) -> _WorkerHandle:
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=True)
+        process = multiprocessing.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                self._schema,
+                self._policy,
+                self._history_enabled,
+                self._max_candidates,
+            ),
+            name=f"checker-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(index, process, parent_conn)
+
+    def _acquire(self) -> _WorkerHandle:
+        with self._condition:
+            while not self._idle:
+                if self._closed:
+                    raise CheckerPoolError("pool is closed")
+                self._condition.wait()
+            if self._closed:
+                raise CheckerPoolError("pool is closed")
+            return self._idle.pop()
+
+    def _release(self, handle: _WorkerHandle) -> None:
+        with self._condition:
+            self._idle.append(handle)
+            self._condition.notify()
+
+    def _restart(self, handle: _WorkerHandle) -> None:
+        """Kill and respawn a worker in place; resets its trace cursors."""
+        try:
+            handle.process.terminate()
+            handle.process.join(timeout=2.0)
+        except (OSError, ValueError):
+            pass
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        replacement = self._spawn(handle.index)
+        handle.process = replacement.process
+        handle.conn = replacement.conn
+        with self._condition:
+            self.worker_restarts += 1
+            self._worker_memo.pop(handle.index, None)
+            for key in [k for k in self._cursors if k[0] == handle.index]:
+                del self._cursors[key]
+
+    def _dispatch(
+        self,
+        handle: _WorkerHandle,
+        token: int,
+        bindings: Mapping[str, object],
+        sql: str,
+        trace,
+        retried: bool = False,
+    ) -> Decision:
+        use_trace = trace is not None
+        if use_trace:
+            base = self._cursors.get((handle.index, token), 0)
+            events = list(trace.events[base:])
+        else:
+            base, events = 0, []
+        message = (
+            "check",
+            token,
+            tuple(sorted(bindings.items())),
+            sql,
+            base,
+            events,
+            use_trace,
+        )
+        try:
+            handle.conn.send(message)
+            if not handle.conn.poll(self._timeout_s):
+                raise TimeoutError(f"worker {handle.index} unresponsive")
+            reply = handle.conn.recv()
+        except (BrokenPipeError, EOFError, OSError, TimeoutError) as exc:
+            self._restart(handle)
+            if retried:
+                raise CheckerPoolError(
+                    f"worker {handle.index} failed twice: {exc}"
+                ) from exc
+            return self._dispatch(handle, token, bindings, sql, trace, retried=True)
+        if reply[0] == "ok":
+            _, decision, applied, memo_counters = reply
+            with self._condition:
+                self.tasks_dispatched += 1
+                self._worker_memo[handle.index] = memo_counters
+                if use_trace:
+                    self._cursors[(handle.index, token)] = applied
+            return decision
+        _, error, applied = reply
+        with self._condition:
+            self.errors += 1
+            if use_trace:
+                # The worker applied the delta before failing (or reported
+                # its unchanged cursor); keep the parent's view truthful.
+                self._cursors[(handle.index, token)] = applied
+        raise CheckerPoolError(f"worker {handle.index}: {error}")

@@ -1,0 +1,353 @@
+"""Property tests: the indexed DecisionCache is observably the seed cache.
+
+The discrimination/reverse indexes (see ``repro.enforce.cache``) are pure
+lookup accelerators — they must never change what the cache answers.
+``SeedReferenceCache`` below preserves the pre-index implementation
+verbatim (linear scan over every template under a key, linear scan over
+every key on invalidation); the hypothesis property drives arbitrary
+interleavings of store / lookup / invalidate_table through both and
+demands identical decisions, hit/miss counters, eviction counts, and
+sizes at every step.
+
+Also here: the instrumentation assertion that ``invalidate_table`` no
+longer visits unaffected skeleton keys, and the ``_equality_partition``
+bool-vs-int regression (``True`` and ``1`` hash alike but must not be
+treated as equal when building equality patterns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.enforce.cache import (
+    DecisionCache,
+    _equality_partition,
+    _fact_matches,
+    _Template,
+    _value_key,
+)
+from repro.enforce.decision import Decision
+from repro.relalg.cq import Atom, Const
+from repro.sqlir.params import bind_parameters
+from repro.sqlir.parser import parse_select
+from repro.sqlir.printer import to_sql
+from repro.sqlir.skeleton import skeletonize
+from repro.workloads import calendar_app
+
+
+class SeedReferenceCache:
+    """The pre-index DecisionCache, preserved as the behavioral oracle.
+
+    Linear scan over all templates under a skeleton key on lookup,
+    linear scan over *all* skeleton keys on invalidation — exactly the
+    seed implementation this PR replaced. Shares the generalization
+    helpers (``_equality_partition`` etc.) with the real cache so the
+    comparison isolates the indexing change.
+    """
+
+    def __init__(self, policy):
+        self._templates: dict[object, list[_Template]] = {}
+        self._view_constants = policy.constants()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def lookup(self, stmt, bindings, trace):
+        skeleton = skeletonize(stmt)
+        candidates = self._templates.get(skeleton.statement, ())
+        param_items = sorted(bindings.items())
+        for template in candidates:
+            if self._matches(template, skeleton, param_items, trace):
+                self.hits += 1
+                return Decision(
+                    allowed=True,
+                    sql=to_sql(stmt),
+                    reason=template.reason,
+                    from_cache=True,
+                )
+        self.misses += 1
+        return None
+
+    def _matches(self, template, skeleton, param_items, trace):
+        for index, value in template.pinned:
+            if skeleton.values[index] != value:
+                return False
+        if _equality_partition(skeleton.values, param_items) != template.equality_pattern:
+            return False
+        if template.fact_patterns:
+            if trace is None:
+                return False
+            facts = trace.facts
+            params = dict(param_items)
+            for rel, pattern_args in template.fact_patterns:
+                if not any(
+                    _fact_matches(fact, rel, pattern_args, skeleton.values, params)
+                    for fact in facts
+                ):
+                    return False
+        return True
+
+    def store(self, stmt, bindings, decision):
+        if not decision.allowed or decision.from_cache:
+            return
+        skeleton = skeletonize(stmt)
+        param_items = sorted(bindings.items())
+        pinned = []
+        for index, value in enumerate(skeleton.values):
+            if not skeleton.generalizable[index] or value in self._view_constants:
+                pinned.append((index, value))
+        fact_patterns = []
+        tables = {ref.name for ref in stmt.tables()}
+        for fact in decision.facts_used:
+            fact_patterns.append((fact.rel, self._seed_pattern_of(fact, skeleton.values, param_items)))
+            tables.add(fact.rel)
+        template = _Template(
+            skeleton_key=skeleton.statement,
+            pinned=tuple(pinned),
+            equality_pattern=_equality_partition(skeleton.values, param_items),
+            fact_patterns=tuple(fact_patterns),
+            reason=decision.reason + " [template]",
+            tables=frozenset(tables),
+        )
+        self._templates.setdefault(skeleton.statement, []).append(template)
+
+    @staticmethod
+    def _seed_pattern_of(fact, values, param_items):
+        from repro.enforce.trace import is_labeled_null
+
+        params = {name: value for name, value in param_items}
+        pattern = []
+        for arg in fact.args:
+            if is_labeled_null(arg):
+                pattern.append(("any", None))
+                continue
+            if isinstance(arg, Const):
+                slot = next(
+                    (i for i, v in enumerate(values) if _value_key(v) == _value_key(arg.value)),
+                    None,
+                )
+                if slot is not None:
+                    pattern.append(("slot", slot))
+                    continue
+                param_name = next(
+                    (
+                        name
+                        for name, value in params.items()
+                        if _value_key(value) == _value_key(arg.value)
+                    ),
+                    None,
+                )
+                if param_name is not None:
+                    pattern.append(("param", param_name))
+                    continue
+                pattern.append(("const", arg.value))
+                continue
+            pattern.append(("any", None))
+        return tuple(pattern)
+
+    def invalidate_table(self, table):
+        evicted = 0
+        for key in list(self._templates):
+            templates = self._templates[key]
+            kept = [t for t in templates if table not in t.tables]
+            if len(kept) == len(templates):
+                continue
+            evicted += len(templates) - len(kept)
+            if kept:
+                self._templates[key] = kept
+            else:
+                del self._templates[key]
+        self.invalidations += evicted
+        return evicted
+
+    @property
+    def size(self):
+        return sum(len(templates) for templates in self._templates.values())
+
+
+# --------------------------------------------------------------------------
+# Scenario generation
+# --------------------------------------------------------------------------
+
+SHAPES = [
+    "SELECT EId FROM Attendance WHERE UId = ?",
+    "SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?",
+    "SELECT * FROM Events WHERE EId = ?",
+    "SELECT Title, Loc FROM Events WHERE EId = ?",
+    "SELECT Name FROM Users WHERE UId = ?",
+]
+HOLES = [1, 2, 1, 1, 1]
+TABLES = ["Attendance", "Events", "Users", "Unrelated"]
+
+# Values chosen to stress the equality machinery: 0/1 vs False/True hash
+# alike, strings collide with nothing.
+values = st.sampled_from([0, 1, 2, 3, True, False, "a", "b"])
+
+
+class StubTrace:
+    """The one thing the cache reads from a trace: its fact tuple."""
+
+    def __init__(self, facts):
+        self.facts = tuple(facts)
+
+
+def fact_atoms(pairs):
+    return tuple(Atom("Attendance", (Const(a), Const(b))) for a, b in pairs)
+
+
+@st.composite
+def operations(draw):
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=12))):
+        kind = draw(st.sampled_from(["store", "store", "lookup", "lookup", "invalidate"]))
+        if kind == "invalidate":
+            ops.append(("invalidate", draw(st.sampled_from(TABLES))))
+            continue
+        shape = draw(st.integers(min_value=0, max_value=len(SHAPES) - 1))
+        args = [draw(values) for _ in range(HOLES[shape])]
+        user = draw(values)
+        facts = draw(st.lists(st.tuples(values, values), max_size=2))
+        if kind == "store":
+            allowed = draw(st.booleans())
+            ops.append(("store", shape, args, user, facts, allowed))
+        else:
+            ops.append(("lookup", shape, args, user, facts))
+    return ops
+
+
+@pytest.fixture(scope="module")
+def policy():
+    return calendar_app.ground_truth_policy()
+
+
+def normalized(decision):
+    """A hit decision with timing scrubbed (the only legitimate delta)."""
+    if decision is None:
+        return None
+    return replace(decision, duration_s=0.0)
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+@given(ops=operations())
+def test_indexed_cache_is_observably_the_seed_cache(ops, policy):
+    indexed = DecisionCache(policy)
+    reference = SeedReferenceCache(policy)
+    for op in ops:
+        if op[0] == "invalidate":
+            _, table = op
+            assert indexed.invalidate_table(table) == reference.invalidate_table(table)
+        elif op[0] == "store":
+            _, shape, args, user, facts, allowed = op
+            stmt = bind_parameters(parse_select(SHAPES[shape]), args)
+            decision = Decision(
+                allowed=allowed,
+                sql=to_sql(stmt),
+                reason="fuzzed",
+                facts_used=fact_atoms(facts),
+            )
+            indexed.store(stmt, {"MyUId": user}, decision)
+            reference.store(stmt, {"MyUId": user}, decision)
+        else:
+            _, shape, args, user, facts = op
+            stmt = bind_parameters(parse_select(SHAPES[shape]), args)
+            trace = StubTrace(fact_atoms(facts))
+            got = indexed.lookup(stmt, {"MyUId": user}, trace)
+            want = reference.lookup(stmt, {"MyUId": user}, trace)
+            assert normalized(got) == normalized(want)
+        assert indexed.size == reference.size
+        assert indexed.hits == reference.hits
+        assert indexed.misses == reference.misses
+        assert indexed.invalidations == reference.invalidations
+
+
+# --------------------------------------------------------------------------
+# Invalidation instrumentation: O(affected), not O(cache)
+# --------------------------------------------------------------------------
+
+
+def synthetic_template(key, table):
+    return _Template(
+        skeleton_key=key,
+        pinned=(),
+        equality_pattern=(),
+        fact_patterns=(),
+        reason="synthetic",
+        tables=frozenset({table}),
+    )
+
+
+class TestInvalidationScansOnlyAffectedKeys:
+    def test_unaffected_skeleton_keys_never_visited(self, policy=None):
+        cache = DecisionCache(calendar_app.ground_truth_policy())
+        for i in range(50):
+            cache._insert_template(synthetic_template(f"att-{i}", "Attendance"))
+        for i in range(5):
+            cache._insert_template(synthetic_template(f"usr-{i}", "Users"))
+        assert cache.size == 55
+        before = cache.invalidate_keys_scanned
+        assert cache.invalidate_table("Users") == 5
+        # Exactly the 5 Users keys were visited; none of the 50
+        # Attendance keys were examined.
+        assert cache.invalidate_keys_scanned - before == 5
+        assert cache.invalidate_table("NoSuchTable") == 0
+        assert cache.invalidate_keys_scanned - before == 5
+        assert cache.size == 50
+
+    def test_multi_table_template_unlinked_everywhere(self):
+        cache = DecisionCache(calendar_app.ground_truth_policy())
+        cache._insert_template(
+            _Template(
+                skeleton_key="k",
+                pinned=(),
+                equality_pattern=(),
+                fact_patterns=(),
+                reason="synthetic",
+                tables=frozenset({"Events", "Attendance"}),
+            )
+        )
+        assert cache.invalidate_table("Events") == 1
+        # The template's other table must not retain a dangling key.
+        before = cache.invalidate_keys_scanned
+        assert cache.invalidate_table("Attendance") == 0
+        assert cache.invalidate_keys_scanned == before
+
+
+# --------------------------------------------------------------------------
+# bool-vs-int regression
+# --------------------------------------------------------------------------
+
+
+class TestBoolIntDistinctness:
+    def test_equality_partition_keeps_true_and_1_apart(self):
+        # hash(True) == hash(1) and True == 1, yet the checker's constraint
+        # reasoning treats them as distinct constants — the partition must too.
+        assert _equality_partition((True, 1), []) == ()
+        assert _equality_partition((1, 1), []) == ((0, 1),)
+        assert _equality_partition((True, True), []) == ((0, 1),)
+        assert _equality_partition((False, 0), []) == ()
+        # Params participate under the same key rule.
+        assert _equality_partition((True,), [("MyUId", 1)]) == ()
+        assert _equality_partition((1,), [("MyUId", 1)]) == ((-1, 0),)
+
+    def test_lookup_distinguishes_bool_from_int_instantiations(self):
+        policy = calendar_app.ground_truth_policy()
+        indexed = DecisionCache(policy)
+        reference = SeedReferenceCache(policy)
+        sql = "SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?"
+        stored = bind_parameters(parse_select(sql), [1, 1])
+        decision = Decision(allowed=True, sql=to_sql(stored), reason="r")
+        for cache in (indexed, reference):
+            cache.store(stored, {"MyUId": 1}, decision)
+        # (True, 1) induces a different partition than (1, 1): must miss,
+        # identically in both implementations.
+        probe = bind_parameters(parse_select(sql), [True, 1])
+        assert indexed.lookup(probe, {"MyUId": 1}, None) is None
+        assert reference.lookup(probe, {"MyUId": 1}, None) is None

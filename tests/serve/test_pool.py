@@ -1,0 +1,242 @@
+"""CheckerPool: pooled checks agree with in-process checking, survive
+worker death, and ship session traces as incremental deltas.
+
+The pool (``repro.serve.pool``) is a pure execution offload — where a
+check runs must never change what it decides. These tests compare pooled
+decisions against the in-process checker (including history-dependent
+flows, where correctness hinges on the trace-delta replay reproducing
+the parent's fact list order), then exercise the failure paths the
+gateway's fallback depends on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enforce import PolicyViolation
+from repro.enforce.checker import ComplianceChecker
+from repro.enforce.trace import Trace
+from repro.engine.executor import Result
+from repro.relalg.cq import Atom, Const
+from repro.relalg.translate import translate_select
+from repro.serve import CheckerPool, CheckerPoolError, EnforcementGateway, GatewayConfig
+from repro.serve.pool import _TraceReplica
+from repro.sqlir.params import bind_parameters
+from repro.sqlir.parser import parse_select
+from repro.workloads import calendar_app
+
+
+def bound(sql, args=()):
+    return bind_parameters(parse_select(sql), args)
+
+
+def fact(uid, eid):
+    return Atom("Attendance", (Const(uid), Const(eid)))
+
+
+class TestTraceReplica:
+    def test_replays_adds_and_refreshes_in_order(self):
+        replica = _TraceReplica()
+        replica.apply([("add", fact(1, 2)), ("add", fact(1, 3))])
+        assert replica.facts == (fact(1, 2), fact(1, 3))
+        # Refresh moves to the end — the recency order the checker's
+        # most-recent-facts selection depends on.
+        replica.apply([("refresh", fact(1, 2))])
+        assert replica.facts == (fact(1, 3), fact(1, 2))
+        assert replica.applied == 3
+
+    def test_tracks_a_real_trace_exactly(self, calendar_schema):
+        trace = Trace()
+        replica = _TraceReplica()
+        for uid, eid in [(1, 2), (1, 3), (1, 2), (2, 2)]:
+            guard = translate_select(
+                bound("SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", [uid, eid]),
+                calendar_schema,
+            ).disjuncts[0]
+            trace.record("guard", guard, Result(columns=["c"], rows=[(1,)]))
+            replica.apply(trace.events[replica.applied :])
+            assert replica.facts == tuple(trace.facts)
+        assert replica.applied == len(trace.events)
+        assert replica.relevant_facts({"Attendance"}) == list(trace.facts)
+        assert replica.relevant_facts({"Events"}) == []
+
+
+@pytest.fixture
+def pool(calendar_schema, calendar_policy):
+    pool = CheckerPool(calendar_schema, calendar_policy, workers=1)
+    yield pool
+    pool.close()
+
+
+QUERIES = [
+    ("SELECT EId FROM Attendance WHERE UId = ?", [1]),
+    ("SELECT Title, Loc FROM Events WHERE EId = ?", [2]),
+    ("SELECT Name FROM Users WHERE UId = ?", [1]),
+    ("SELECT * FROM Events", []),
+    ("SELECT Name FROM Users WHERE UId = ?", [2]),
+]
+
+
+class TestPooledDecisionsAgree:
+    def test_history_free_checks_match_in_process(
+        self, pool, calendar_schema, calendar_policy
+    ):
+        checker = ComplianceChecker(calendar_schema, calendar_policy)
+        for sql, args in QUERIES:
+            stmt = bound(sql, args)
+            local = checker.check(stmt, {"MyUId": 1})
+            pooled = pool.check(token=1, bindings={"MyUId": 1}, stmt=stmt, trace=None)
+            assert pooled.allowed == local.allowed, sql
+            assert pooled.reason == local.reason, sql
+        assert pool.stats()["tasks_dispatched"] == len(QUERIES)
+        assert pool.stats()["errors"] == 0
+
+    def test_history_dependent_check_uses_shipped_deltas(
+        self, pool, calendar_schema, calendar_policy
+    ):
+        checker = ComplianceChecker(calendar_schema, calendar_policy)
+        fetch = bound("SELECT Title, Loc FROM Events WHERE EId = ?", [2])
+        bindings = {"MyUId": 1}
+        # Without history the fetch is blocked — in-process and pooled alike.
+        assert not checker.check(fetch, bindings).allowed
+        assert not pool.check(7, bindings, fetch, Trace()).allowed
+        # Certify attendance of event 2 into the trace; now both allow.
+        trace = Trace()
+        guard = translate_select(
+            bound("SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", [1, 2]),
+            calendar_schema,
+        ).disjuncts[0]
+        trace.record("guard", guard, Result(columns=["c"], rows=[(1,)]))
+        local = checker.check(fetch, bindings, trace)
+        pooled = pool.check(8, bindings, fetch, trace)
+        assert local.allowed
+        assert pooled.allowed == local.allowed
+        assert pooled.reason == local.reason
+
+    def test_cursor_advances_and_ships_only_new_events(
+        self, pool, calendar_schema
+    ):
+        trace = Trace()
+        bindings = {"MyUId": 1}
+        stmt = bound("SELECT EId FROM Attendance WHERE UId = ?", [1])
+        pool.check(5, bindings, stmt, trace)
+        assert pool._cursors[(0, 5)] == 0
+        guard = translate_select(
+            bound("SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", [1, 2]),
+            calendar_schema,
+        ).disjuncts[0]
+        trace.record("guard", guard, Result(columns=["c"], rows=[(1,)]))
+        pool.check(5, bindings, stmt, trace)
+        # The worker has now applied exactly the trace's event log; the
+        # next check for this session ships zero events.
+        assert pool._cursors[(0, 5)] == len(trace.events)
+        pool.check(5, bindings, stmt, trace)
+        assert pool._cursors[(0, 5)] == len(trace.events)
+
+
+class TestFailureContainment:
+    def test_worker_error_raises_and_resyncs_cursor(self, pool):
+        trace = Trace()
+        # Corrupt the parent-side cursor: the worker's replica is at 0,
+        # so it must refuse the check rather than use a wrong fact list.
+        pool._cursors[(0, 9)] = 5
+        allowed = bound("SELECT EId FROM Attendance WHERE UId = ?", [1])
+        with pytest.raises(CheckerPoolError):
+            pool.check(9, {"MyUId": 1}, allowed, trace)
+        assert pool.stats()["errors"] == 1
+        # The error reply carried the worker's true cursor; the parent
+        # resynchronized and the pool is serviceable again.
+        assert pool._cursors[(0, 9)] == 0
+        ok = pool.check(9, {"MyUId": 1}, allowed, trace)
+        assert ok.allowed
+
+    def test_dead_worker_is_respawned_transparently(self, pool):
+        pool._handles[0].process.terminate()
+        pool._handles[0].process.join(timeout=5.0)
+        decision = pool.check(
+            1, {"MyUId": 1}, bound("SELECT EId FROM Attendance WHERE UId = ?", [1]), None
+        )
+        assert decision.allowed
+        assert pool.stats()["worker_restarts"] >= 1
+
+    def test_restart_resets_trace_cursors(self, pool, calendar_schema):
+        trace = Trace()
+        guard = translate_select(
+            bound("SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", [1, 2]),
+            calendar_schema,
+        ).disjuncts[0]
+        trace.record("guard", guard, Result(columns=["c"], rows=[(1,)]))
+        fetch = bound("SELECT Title, Loc FROM Events WHERE EId = ?", [2])
+        assert pool.check(3, {"MyUId": 1}, fetch, trace).allowed
+        assert pool._cursors[(0, 3)] == len(trace.events)
+        pool._handles[0].process.terminate()
+        pool._handles[0].process.join(timeout=5.0)
+        # The respawned worker's replica restarts from zero; the delta
+        # protocol re-syncs and the decision is unchanged.
+        assert pool.check(3, {"MyUId": 1}, fetch, trace).allowed
+        assert pool._cursors[(0, 3)] == len(trace.events)
+
+    def test_closed_pool_refuses_checks(self, calendar_schema, calendar_policy):
+        pool = CheckerPool(calendar_schema, calendar_policy, workers=1)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(CheckerPoolError):
+            pool.check(1, {"MyUId": 1}, bound("SELECT * FROM Events"), None)
+
+    def test_zero_workers_rejected(self, calendar_schema, calendar_policy):
+        with pytest.raises(ValueError):
+            CheckerPool(calendar_schema, calendar_policy, workers=0)
+
+
+class TestGatewayIntegration:
+    @pytest.fixture
+    def pooled_gateway(self, calendar_policy):
+        db = calendar_app.make_database(size=10, seed=3)
+        if db.query("SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2").is_empty():
+            db.sql("INSERT INTO Attendance VALUES (1, 2)")
+        gateway = EnforcementGateway(
+            db,
+            calendar_policy,
+            GatewayConfig(verify_cached_decisions=True, check_workers=1),
+        )
+        yield gateway
+        gateway.close()
+
+    def test_example_2_1_triple_through_the_pool(self, pooled_gateway):
+        connection = pooled_gateway.connect(1)
+        q1 = connection.query("SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2")
+        assert not q1.is_empty()
+        q2 = connection.query("SELECT * FROM Events WHERE EId = 2")
+        assert not q2.is_empty()
+        with pytest.raises(PolicyViolation):
+            pooled_gateway.connect(1, fresh=True).query(
+                "SELECT * FROM Events WHERE EId = 2"
+            )
+        snapshot = pooled_gateway.snapshot()
+        assert pooled_gateway.metrics.counter("cache_disagreements") == 0
+        assert snapshot.counters["pool_tasks_dispatched"] > 0
+        assert snapshot.counters["pool_errors"] == 0
+        assert pooled_gateway.metrics.counter("pool_fallbacks") == 0
+
+    def test_snapshot_exposes_pool_and_memo_counters(self, pooled_gateway):
+        pooled_gateway.connect(1).query("SELECT EId FROM Attendance WHERE UId = 1")
+        counters = pooled_gateway.snapshot().counters
+        assert counters["pool_workers"] == 1
+        assert counters["pool_worker_restarts"] == 0
+        # Worker-side memo counters surface under pool_memo_*; the local
+        # process's own memo counters under memo_*.
+        assert "pool_memo_containment_hits" in counters
+        assert "memo_containment_hits" in counters
+
+    def test_pool_failure_falls_back_to_in_process(
+        self, pooled_gateway, monkeypatch
+    ):
+        def boom(*args, **kwargs):
+            raise CheckerPoolError("injected")
+
+        monkeypatch.setattr(pooled_gateway.pool, "check", boom)
+        result = pooled_gateway.connect(1).query(
+            "SELECT EId FROM Attendance WHERE UId = 1"
+        )
+        assert result is not None
+        assert pooled_gateway.metrics.counter("pool_fallbacks") == 1

@@ -31,12 +31,7 @@ def gateway(calendar_policy):
 
 def cached_tables(cache) -> set[str]:
     with cache._lock:
-        return {
-            table
-            for templates in cache._templates.values()
-            for template in templates
-            for table in template.tables
-        }
+        return {table for template in cache.iter_templates() for table in template.tables}
 
 
 class TestInvalidationRace:

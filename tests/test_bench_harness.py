@@ -46,8 +46,15 @@ class TestPrintTable:
         monkeypatch.setattr(harness, "_RESULTS_DIR", str(tmp_path))
         print_table("EX9", "demo", ["a"], [[1], [2]])
         capsys.readouterr()
-        content = (tmp_path / "EX9.tsv").read_text()
-        assert content.splitlines() == ["a", "1", "2"]
+        lines = (tmp_path / "EX9.tsv").read_text().splitlines()
+        # Provenance header first (commit / python / cpus), then the data.
+        provenance, data = lines[:3], lines[3:]
+        assert [line.split(":")[0] for line in provenance] == [
+            "# commit",
+            "# python",
+            "# cpus",
+        ]
+        assert data == ["a", "1", "2"]
 
     def test_no_dir_no_write(self, tmp_path, monkeypatch, capsys):
         import repro.bench.harness as harness
