@@ -237,14 +237,21 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.lifecycle import LifecycleManager
     from repro.net import NetServer, ServerConfig
+    from repro.policy import policy_from_text
     from repro.serve import EnforcementGateway, GatewayConfig
 
     app, db = _load_app(args.app, args.size, args.seed)
-    policy = app.ground_truth_policy()
+    if args.policy_file:
+        with open(args.policy_file, encoding="utf-8") as handle:
+            policy = policy_from_text(handle.read(), db.schema)
+    else:
+        policy = app.ground_truth_policy()
     gateway = EnforcementGateway(
         db, policy, GatewayConfig(cache_mode=args.cache, check_workers=args.check_workers)
     )
+    lifecycle = LifecycleManager(gateway, shadow_workers=args.shadow_workers)
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -254,13 +261,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         request_timeout_s=args.request_timeout,
         idle_timeout_s=args.idle_timeout,
     )
-    server = NetServer(gateway, config)
+    server = NetServer(gateway, config, lifecycle=lifecycle)
 
     async def run() -> None:
         await server.start()
         print(
             f"repro serve: app={app.name} policy={policy.name}"
+            f" v{gateway.policy_version}"
+            f" (fingerprint {policy.fingerprint()})"
             f" cache={args.cache} listening on {config.host}:{server.port}"
+        )
+        print(
+            "  policy lifecycle enabled: POLICY/RELOAD/SHADOW/PROMOTE/ROLLBACK"
+            " admin verbs (repro policy-reload, policy-shadow, ...)"
         )
         print(
             f"  admission: {config.max_connections} connections,"
@@ -282,6 +295,154 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def _read_policy_arg(spec: str, app, db):
+    """Resolve a policy-diff operand: a file path or ``ground-truth``."""
+    if spec == "ground-truth":
+        return app.ground_truth_policy()
+    from repro.policy import policy_from_text
+
+    with open(spec, encoding="utf-8") as handle:
+        return policy_from_text(handle.read(), db.schema, name=spec)
+
+
+def cmd_policy_diff(args: argparse.Namespace) -> int:
+    """Operator-facing view of the promotion compare gate."""
+    from repro.lifecycle.promote import subsumption_matrix
+
+    app, db = _load_app(args.app, args.size, args.seed)
+    candidate = _read_policy_arg(args.candidate, app, db)
+    truth = _read_policy_arg(args.truth, app, db)
+    comparison = compare_policies(candidate, truth)
+    print(
+        f"candidate={args.candidate} ({len(candidate)} views,"
+        f" fingerprint {candidate.fingerprint()})"
+    )
+    print(f"truth={args.truth} ({len(truth)} views, fingerprint {truth.fingerprint()})")
+    print(
+        f"precision={comparison.precision:.3f} recall={comparison.recall:.3f}"
+        f" exact={comparison.exact}"
+    )
+    print("per-view subsumption (is the view's information covered by the other side?):")
+    for direction, view_name, covered in subsumption_matrix(candidate, truth):
+        verdict = "covered" if covered else "NOT covered"
+        print(f"  {direction}  {view_name}: {verdict}")
+    return 0 if comparison.exact else 1
+
+
+def _admin_client(args: argparse.Namespace):
+    from repro.net import AdminClient
+
+    return AdminClient(args.host, args.port)
+
+
+def _print_reload_report(report: dict) -> None:
+    print(
+        f"reloaded v{report['old_version']} -> v{report['new_version']}"
+        f" ({report['provenance']}, fingerprint {report['fingerprint']})"
+    )
+    print(
+        f"  build {report['build_s'] * 1e3:.1f} ms,"
+        f" swap pause {report['swap_pause_s'] * 1e6:.0f} us,"
+        f" {report['sessions_preserved']} sessions"
+        f" / {report['trace_facts_preserved']} trace facts preserved,"
+        f" old epoch {'drained' if report['drained'] else 'NOT drained'}"
+    )
+
+
+def cmd_policy_reload(args: argparse.Namespace) -> int:
+    with open(args.policy_file, encoding="utf-8") as handle:
+        text = handle.read()
+    with _admin_client(args) as admin:
+        report = admin.reload(text, provenance=args.provenance, label=args.label)
+    _print_reload_report(report)
+    return 0
+
+
+def cmd_policy_shadow(args: argparse.Namespace) -> int:
+    with _admin_client(args) as admin:
+        if args.action == "start":
+            if not args.policy_file:
+                print("error: shadow start needs --policy-file", file=sys.stderr)
+                return 2
+            with open(args.policy_file, encoding="utf-8") as handle:
+                text = handle.read()
+            reply = admin.shadow_start(
+                text, provenance=args.provenance, label=args.label
+            )
+            print(
+                f"shadowing candidate v{reply['candidate_version']}"
+                f" (fingerprint {reply['fingerprint']})"
+            )
+            return 0
+        if args.action == "stop":
+            stats = admin.shadow_stop()
+            print("shadow stopped; final counters:")
+            for name in sorted(stats):
+                print(f"  {name}: {stats[name]}")
+            return 0
+        status = admin.shadow_status()
+        if status is None:
+            print("no shadow candidate is running")
+            return 1
+        print("shadow status:")
+        for name in sorted(status):
+            print(f"  {name}: {status[name]}")
+        return 0
+
+
+def cmd_policy_promote(args: argparse.Namespace) -> int:
+    overrides = {}
+    if args.max_divergences is not None:
+        overrides["max_divergences"] = args.max_divergences
+    if args.min_shadow_checks is not None:
+        overrides["min_shadow_checks"] = args.min_shadow_checks
+    if args.min_precision is not None:
+        overrides["min_precision"] = args.min_precision
+    if args.min_recall is not None:
+        overrides["min_recall"] = args.min_recall
+    with _admin_client(args) as admin:
+        reply = admin.promote(**overrides)
+    print(
+        f"candidate v{reply['candidate_version']}:"
+        f" {'PROMOTED' if reply['promoted'] else 'REJECTED'}"
+    )
+    for gate in reply["gates"]:
+        verdict = "PASS" if gate["passed"] else "FAIL"
+        print(f"  [{verdict}] {gate['name']}: {gate['detail']}")
+    for diagnosis in reply.get("diagnoses", []):
+        print("  diagnosis:")
+        for line in diagnosis.splitlines():
+            print(f"    {line}")
+    return 0 if reply["promoted"] else 1
+
+
+def cmd_policy_rollback(args: argparse.Namespace) -> int:
+    with _admin_client(args) as admin:
+        report = admin.rollback()
+    _print_reload_report(report)
+    return 0
+
+
+def cmd_policy_status(args: argparse.Namespace) -> int:
+    with _admin_client(args) as admin:
+        status = admin.policy_status()
+    print(
+        f"active: v{status['active_version']}"
+        f" (fingerprint {status['fingerprint']},"
+        f" {status['provenance']}"
+        + (f", label {status['label']!r}" if status.get("label") else "")
+        + f"), {status['views']} views"
+    )
+    print(f"registered versions: {status['registered_versions']}")
+    print(f"activation history: {status['activation_history']}")
+    print(f"rollback target: {status['rollback_target']}")
+    if "shadow" in status:
+        print("shadow:")
+        for name in sorted(status["shadow"]):
+            print(f"  {name}: {status['shadow'][name]}")
     return 0
 
 
@@ -450,7 +611,83 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="checker worker processes for cache misses (0 = in-process)",
     )
+    net.add_argument(
+        "--policy-file",
+        help="serve this policy file instead of the app's bundled ground truth",
+    )
+    net.add_argument(
+        "--shadow-workers",
+        type=int,
+        default=0,
+        help="checker worker processes for shadow-mode checks (0 = in-process)",
+    )
     net.set_defaults(func=cmd_serve)
+
+    def admin_common(p):
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=7433)
+
+    diff = sub.add_parser(
+        "policy-diff",
+        help="compare two policies: precision/recall + per-view subsumption",
+    )
+    common(diff)
+    diff.add_argument(
+        "candidate", help="policy file (or 'ground-truth' for the app's bundled one)"
+    )
+    diff.add_argument(
+        "truth", help="policy file (or 'ground-truth' for the app's bundled one)"
+    )
+    diff.set_defaults(func=cmd_policy_diff)
+
+    preload = sub.add_parser(
+        "policy-reload", help="hot-swap a policy into a running server"
+    )
+    admin_common(preload)
+    preload.add_argument("--policy-file", required=True)
+    preload.add_argument(
+        "--provenance",
+        choices=["hand-written", "extracted", "patched"],
+        default="hand-written",
+    )
+    preload.add_argument("--label", default="")
+    preload.set_defaults(func=cmd_policy_reload)
+
+    pshadow = sub.add_parser(
+        "policy-shadow", help="manage shadow-mode trial of a candidate policy"
+    )
+    admin_common(pshadow)
+    pshadow.add_argument("action", choices=["start", "stop", "status"])
+    pshadow.add_argument("--policy-file", help="candidate policy (start)")
+    pshadow.add_argument(
+        "--provenance",
+        choices=["hand-written", "extracted", "patched"],
+        default="extracted",
+    )
+    pshadow.add_argument("--label", default="")
+    pshadow.set_defaults(func=cmd_policy_shadow)
+
+    ppromote = sub.add_parser(
+        "policy-promote", help="gate-check and promote the shadowed candidate"
+    )
+    admin_common(ppromote)
+    ppromote.add_argument("--max-divergences", type=int, default=None)
+    ppromote.add_argument("--min-shadow-checks", type=int, default=None)
+    ppromote.add_argument("--min-precision", type=float, default=None)
+    ppromote.add_argument("--min-recall", type=float, default=None)
+    ppromote.set_defaults(func=cmd_policy_promote)
+
+    prollback = sub.add_parser(
+        "policy-rollback", help="restore the previously active policy version"
+    )
+    admin_common(prollback)
+    prollback.set_defaults(func=cmd_policy_rollback)
+
+    pstatus = sub.add_parser(
+        "policy-status", help="show a running server's policy lifecycle state"
+    )
+    admin_common(pstatus)
+    pstatus.set_defaults(func=cmd_policy_status)
 
     diag = sub.add_parser("diagnose", help="diagnose a blocked query (§5)")
     common(diag)

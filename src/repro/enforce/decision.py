@@ -28,6 +28,9 @@ class Decision:
     from_cache: bool = False
     duration_s: float = 0.0
     facts_considered: int = 0
+    #: Which policy generation decided this statement (stamped by the
+    #: gateway; ``None`` for bare-proxy decisions, which have no epochs).
+    policy_version: int | None = None
 
     def describe(self) -> str:
         verdict = "ALLOW" if self.allowed else "BLOCK"

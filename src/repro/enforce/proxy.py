@@ -215,7 +215,7 @@ class EnforcementProxy:
     def decide(self, bound: ast.Select) -> Decision:
         """Vet a bound SELECT (without executing it)."""
         started = time.perf_counter()
-        cache = self.config.cache
+        cache = self._decision_cache()
         # Only offer the trace to the cache when this session's checker
         # would use history itself; otherwise a fact-dependent template
         # could allow what the no-history checker would block.
@@ -254,6 +254,15 @@ class EnforcementProxy:
 
     def _record_stage(self, stage: str, seconds: float) -> None:
         """Per-stage latency observation point; no-op outside the gateway."""
+
+    def _decision_cache(self) -> DecisionCache | None:
+        """The decision cache to consult for this decision.
+
+        The gateway overrides this to resolve the cache through the
+        policy epoch pinned for the current decision (caches are
+        per-policy-version there, not per-connection).
+        """
+        return self.config.cache
 
     def _check_fresh(self, bound: ast.Select, trace: Trace | None) -> Decision:
         """Run the full compliance check for a cache miss.

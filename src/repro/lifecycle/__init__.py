@@ -1,0 +1,55 @@
+"""The policy lifecycle (§3–§5, operationalized): versioned policies
+online.
+
+The paper's central claim is that access control is a *lifecycle*
+problem — policies are extracted from traces (§3), evaluated for
+disclosure (§4), and diagnosed/patched when they block legitimate
+queries (§5). This package closes the loop between those proposals and
+the serving tier: a running :class:`~repro.serve.gateway.EnforcementGateway`
+can take a new policy version without a restart, trial a candidate in
+shadow mode against live traffic, and promote it only after it passes
+explicit gates.
+
+* :mod:`repro.lifecycle.registry` — versioned :class:`PolicyRegistry`
+  with content fingerprints, provenance tags, and rollback targets.
+* :mod:`repro.lifecycle.reload` — :func:`hot_reload` (atomic epoch swap
+  with no torn decisions) and the :class:`LifecycleManager` that ties
+  the registry, shadow mode, and promotion gates to one gateway.
+* :mod:`repro.lifecycle.shadow` — :class:`ShadowRunner`: candidate
+  policy checked alongside the active one off the hot path, divergences
+  captured in a bounded :class:`DivergenceLog`.
+* :mod:`repro.lifecycle.promote` — promotion gates (shadow divergences,
+  ``compare_policies`` precision/recall, PQI/NQI regression on a
+  sensitive-query suite) with per-divergence ``repro.diagnose`` reports
+  on failure.
+
+See ``docs/lifecycle.md`` for the reload semantics and the shadow-mode
+soundness argument.
+"""
+
+from repro.lifecycle.promote import (
+    Gate,
+    GateConfig,
+    PromotionReport,
+    SensitiveCase,
+    evaluate_gates,
+)
+from repro.lifecycle.registry import PolicyRegistry, PolicyVersion
+from repro.lifecycle.reload import LifecycleManager, ReloadReport, hot_reload
+from repro.lifecycle.shadow import Divergence, DivergenceLog, ShadowRunner
+
+__all__ = [
+    "Divergence",
+    "DivergenceLog",
+    "Gate",
+    "GateConfig",
+    "LifecycleManager",
+    "PolicyRegistry",
+    "PolicyVersion",
+    "PromotionReport",
+    "ReloadReport",
+    "SensitiveCase",
+    "ShadowRunner",
+    "evaluate_gates",
+    "hot_reload",
+]

@@ -1,0 +1,310 @@
+"""Shadow mode: trial a candidate policy against live traffic.
+
+Every statement the gateway decides under the active policy is *also*
+checked against the candidate, asynchronously and off the hot path, and
+any divergence (an allow↔block flip) is captured with enough context to
+diagnose it later. This is how a mined (§3) or patched (§5) policy earns
+trust before promotion: the paper's lifecycle argument says a policy is
+not just a set of views but a claim about what the application needs,
+and live traffic is the cheapest oracle for that claim.
+
+Soundness of the comparison rests on snapshotting: the active decision
+was made against the session's trace *as of decision time*, so the
+shadow check must see exactly that prefix. Trace event logs are
+append-only, so capturing ``len(trace.events)`` at submit time and
+replaying that prefix reproduces the active decision's history even
+though the live trace has moved on by the time the shadow check runs.
+
+Checks run on the candidate's own :class:`~repro.serve.pool.CheckerPool`
+when workers are configured — active-pool workers build their
+:class:`~repro.enforce.checker.ComplianceChecker` against the *active*
+policy at spawn, so candidate checks need candidate-bound workers; what
+is reused is the pool machinery (warm processes, trace-delta shipping,
+restart-on-death), keeping the shadow check off the gateway's CPU
+budget. With no workers, a single in-process checker thread is used.
+
+Backpressure drops rather than blocks: when more than ``max_pending``
+shadow checks are queued, new submissions are counted as ``dropped`` and
+skipped. The hot path never waits on shadow mode.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.enforce.checker import ComplianceChecker
+from repro.policy.policy import Policy
+from repro.serve.pool import CheckerPool, CheckerPoolError, _TraceReplica
+from repro.sqlir import ast
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One allow↔block flip between the active and candidate policies.
+
+    Carries the bound statement and the trace-event snapshot so a failed
+    promotion gate can hand the exact situation to ``repro.diagnose``.
+    """
+
+    sql: str
+    stmt: ast.Select
+    bindings: tuple[tuple[str, object], ...]
+    trace_len: int
+    active_allowed: bool
+    candidate_allowed: bool
+    active_version: int
+    candidate_version: int
+    events: tuple = ()
+
+    @property
+    def kind(self) -> str:
+        return "allow_to_block" if self.active_allowed else "block_to_allow"
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind}: {self.sql} [bindings={dict(self.bindings)!r},"
+            f" trace_len={self.trace_len}, active v{self.active_version}"
+            f" {'ALLOW' if self.active_allowed else 'BLOCK'},"
+            f" candidate v{self.candidate_version}"
+            f" {'ALLOW' if self.candidate_allowed else 'BLOCK'}]"
+        )
+
+
+class DivergenceLog:
+    """Bounded, thread-safe log of divergences plus running counters.
+
+    The deque keeps the most recent ``cap`` divergences (oldest evicted);
+    the counters keep exact totals regardless, so the promotion gate can
+    enforce "≤ threshold divergences over ≥ N checks" even after
+    eviction.
+    """
+
+    def __init__(self, cap: int = 256):
+        self._lock = threading.Lock()
+        self._entries: deque[Divergence] = deque(maxlen=max(1, cap))
+        self.checks = 0
+        self.divergences = 0
+        self.allow_to_block = 0
+        self.block_to_allow = 0
+        self.errors = 0
+
+    def record_check(self) -> None:
+        with self._lock:
+            self.checks += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def record(self, divergence: Divergence) -> None:
+        with self._lock:
+            self._entries.append(divergence)
+            self.divergences += 1
+            if divergence.kind == "allow_to_block":
+                self.allow_to_block += 1
+            else:
+                self.block_to_allow += 1
+
+    def entries(self) -> list[Divergence]:
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "checks": self.checks,
+                "divergences": self.divergences,
+                "allow_to_block": self.allow_to_block,
+                "block_to_allow": self.block_to_allow,
+                "errors": self.errors,
+            }
+
+
+class _EventsPrefix:
+    """A frozen prefix of a session's trace-event log, for pool shipping.
+
+    :meth:`CheckerPool.check` reads only ``trace.events``; handing it
+    this snapshot (instead of the live trace) pins the shadow check to
+    the history the active decision saw.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: list):
+        self.events = events
+
+
+class ShadowRunner:
+    """Runs candidate-policy checks alongside the active gateway path.
+
+    Installed as ``gateway.shadow``;
+    :meth:`~repro.serve.gateway.GatewayConnection.decide` calls
+    :meth:`submit` after every active decision. One worker thread drains
+    the queue in submission order — per-session trace snapshots are then
+    monotonically growing, which the pool's trace-delta cursors require.
+    """
+
+    def __init__(
+        self,
+        gateway,
+        candidate: Policy,
+        candidate_version: int,
+        workers: int = 0,
+        log_cap: int = 256,
+        max_pending: int = 512,
+    ):
+        self.gateway = gateway
+        self.candidate = candidate
+        self.candidate_version = candidate_version
+        self.log = DivergenceLog(cap=log_cap)
+        history = gateway.config.history_enabled
+        self._history_enabled = history
+        self._checker = ComplianceChecker(
+            gateway.db.schema, candidate, history_enabled=history
+        )
+        self._pool: CheckerPool | None = (
+            CheckerPool(
+                gateway.db.schema,
+                candidate,
+                workers=workers,
+                history_enabled=history,
+                timeout_s=gateway.config.check_timeout_s,
+            )
+            if workers > 0
+            else None
+        )
+        self._max_pending = max_pending
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="shadow-checker"
+        )
+        self._condition = threading.Condition()
+        self._submitted = 0
+        self._done = 0
+        self._dropped = 0
+        self._closed = False
+
+    # -- the hot-path entry point -------------------------------------------------
+
+    def submit(self, connection, bound: ast.Select, active_decision) -> bool:
+        """Queue one shadow check; never blocks the calling session.
+
+        Returns ``False`` when the check was shed (queue full or runner
+        closed). Snapshots everything mutable *now*, on the caller's
+        thread: the trace prefix, the bindings, and the active verdict.
+        """
+        with self._condition:
+            if self._closed:
+                return False
+            if self._submitted - self._done >= self._max_pending:
+                self._dropped += 1
+                return False
+            self._submitted += 1
+        events = (
+            list(connection.trace.events) if self._history_enabled else []
+        )
+        self._executor.submit(
+            self._run_check,
+            connection._pool_token,
+            dict(connection.session.bindings),
+            bound,
+            active_decision.sql,
+            active_decision.allowed,
+            active_decision.policy_version or 0,
+            events,
+        )
+        return True
+
+    # -- the shadow thread --------------------------------------------------------
+
+    def _run_check(
+        self,
+        token: int,
+        bindings: dict,
+        bound: ast.Select,
+        sql: str,
+        active_allowed: bool,
+        active_version: int,
+        events: list,
+    ) -> None:
+        try:
+            candidate_allowed = self._decide(token, bindings, bound, events)
+        except Exception:
+            self.log.record_error()
+        else:
+            self.log.record_check()
+            if candidate_allowed != active_allowed:
+                self.log.record(
+                    Divergence(
+                        sql=sql,
+                        stmt=bound,
+                        bindings=tuple(sorted(bindings.items())),
+                        trace_len=len(events),
+                        active_allowed=active_allowed,
+                        candidate_allowed=candidate_allowed,
+                        active_version=active_version,
+                        candidate_version=self.candidate_version,
+                        events=tuple(events),
+                    )
+                )
+        finally:
+            with self._condition:
+                self._done += 1
+                self._condition.notify_all()
+
+    def _decide(
+        self, token: int, bindings: dict, bound: ast.Select, events: list
+    ) -> bool:
+        trace = None
+        if self._history_enabled:
+            if self._pool is not None:
+                trace = _EventsPrefix(events)
+            else:
+                replica = _TraceReplica()
+                replica.apply(events)
+                trace = replica
+        if self._pool is not None:
+            try:
+                return self._pool.check(token, bindings, bound, trace).allowed
+            except CheckerPoolError:
+                replica = None
+                if self._history_enabled:
+                    replica = _TraceReplica()
+                    replica.apply(events)
+                return self._checker.check(bound, bindings, replica).allowed
+        return self._checker.check(bound, bindings, trace).allowed
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def drain(self, timeout_s: float = 30.0) -> bool:
+        """Wait until every submitted shadow check has completed."""
+        import time
+
+        deadline = time.monotonic() + timeout_s
+        with self._condition:
+            while self._done < self._submitted:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._condition.wait(timeout=remaining)
+        return True
+
+    def close(self) -> None:
+        with self._condition:
+            if self._closed:
+                return
+            self._closed = True
+        self._executor.shutdown(wait=True)
+        if self._pool is not None:
+            self._pool.close()
+
+    def stats(self) -> dict[str, int]:
+        flat = self.log.stats()
+        with self._condition:
+            flat["submitted"] = self._submitted
+            flat["dropped"] = self._dropped
+            flat["pending"] = self._submitted - self._done
+        flat["candidate_version"] = self.candidate_version
+        return flat

@@ -13,7 +13,7 @@ protocol so workloads replay over the wire unmodified. See
 ``docs/networking.md`` and the E12 benchmark.
 """
 
-from repro.net.client import NetClientConnection, NetGatewayClient
+from repro.net.client import AdminClient, NetClientConnection, NetGatewayClient
 from repro.net.metrics import NetMetrics
 from repro.net.protocol import (
     MAX_FRAME_BYTES,
@@ -27,6 +27,7 @@ from repro.net.server import BackgroundServer, NetServer, ServerConfig
 __all__ = [
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
+    "AdminClient",
     "BackgroundServer",
     "ConnectionClosed",
     "FrameTooLarge",

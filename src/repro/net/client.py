@@ -209,6 +209,119 @@ class NetClientConnection:
         return self._closed
 
 
+class AdminClient:
+    """Operator-side client for the policy-lifecycle admin verbs.
+
+    Admin verbs need no session (they act on the deployment, like
+    STATS), so this client skips HELLO entirely: it opens a socket and
+    speaks ``POLICY`` / ``RELOAD`` / ``SHADOW`` / ``PROMOTE`` /
+    ``ROLLBACK`` directly. Every method returns the server's reply
+    payload or raises :class:`NetError` with the server's error text —
+    which, for a policy that fails to parse, carries the offending line
+    number from ``policy_from_text``.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 150.0):
+        # Timeout must outlast the server's 120s admin deadline.
+        self._max_frame_bytes = protocol.MAX_FRAME_BYTES
+        self._next_id = 0
+        self._closed = False
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    # -- verbs --------------------------------------------------------------------
+
+    def policy_status(self) -> dict:
+        """The ``POLICY`` document: versions, fingerprints, shadow state."""
+        return self._call({"type": protocol.POLICY})["policy"]
+
+    def reload(
+        self, policy_text: str, provenance: str = "hand-written", label: str = ""
+    ) -> dict:
+        """Hot-swap the serialized policy in; returns the reload report."""
+        return self._call(
+            {
+                "type": protocol.RELOAD,
+                "policy_text": policy_text,
+                "provenance": provenance,
+                "label": label,
+            }
+        )["report"]
+
+    def shadow_start(
+        self, policy_text: str, provenance: str = "extracted", label: str = ""
+    ) -> dict:
+        return self._call(
+            {
+                "type": protocol.SHADOW,
+                "action": "start",
+                "policy_text": policy_text,
+                "provenance": provenance,
+                "label": label,
+            }
+        )
+
+    def shadow_stop(self) -> dict:
+        return self._call({"type": protocol.SHADOW, "action": "stop"})["stats"]
+
+    def shadow_status(self) -> dict | None:
+        return self._call({"type": protocol.SHADOW, "action": "status"})["shadow"]
+
+    def promote(self, **gate_overrides) -> dict:
+        """Run the promotion gates; swaps only when every gate passes.
+
+        Keyword overrides: ``max_divergences``, ``min_shadow_checks``,
+        ``min_precision``, ``min_recall``.
+        """
+        return self._call({"type": protocol.PROMOTE, **gate_overrides})
+
+    def rollback(self) -> dict:
+        return self._call({"type": protocol.ROLLBACK})["report"]
+
+    def stats(self) -> dict:
+        return self._call({"type": protocol.STATS})
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _call(self, message: dict) -> dict:
+        if self._closed:
+            raise NetError("admin connection is closed", code=protocol.ERR_INTERNAL)
+        self._next_id += 1
+        message = {**message, "id": self._next_id}
+        try:
+            protocol.write_frame(self._sock, message)
+            reply = protocol.read_frame(self._sock, self._max_frame_bytes)
+        except (ConnectionClosed, OSError) as exc:
+            self._closed = True
+            self._sock.close()
+            raise ConnectionClosed(str(exc)) from exc
+        if reply.get("type") == protocol.ERROR:
+            raise NetError(
+                str(reply.get("error", "admin request failed")),
+                code=str(reply.get("code", protocol.ERR_INTERNAL)),
+            )
+        return reply
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            protocol.write_frame(self._sock, {"type": protocol.GOODBYE})
+            self._sock.settimeout(1.0)
+            protocol.read_frame(self._sock, self._max_frame_bytes)  # BYE
+        except Exception:
+            pass
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "AdminClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 class NetGatewayClient:
     """A gateway-shaped handle on a *remote* gateway.
 

@@ -36,6 +36,25 @@ Client → server:
 * ``STATS {id}`` — server + gateway metrics; allowed before HELLO.
 * ``GOODBYE {}`` — orderly close.
 
+Admin verbs (policy lifecycle; allowed before HELLO, like STATS — they
+act on the deployment, not on a session; all require the server to be
+started with a :class:`~repro.lifecycle.reload.LifecycleManager`):
+
+* ``POLICY {id}`` — active version, fingerprint, provenance, registered
+  versions, rollback target, shadow status.
+* ``RELOAD {id, policy_text, provenance?, label?}`` — parse
+  ``policy_text`` (the ``repro.policy.serialize`` format) and hot-swap
+  it in; replies with the reload report.
+* ``SHADOW {id, action: "start"|"stop"|"status", policy_text?,
+  provenance?, label?}`` — manage shadow mode.
+* ``PROMOTE {id, max_divergences?, min_shadow_checks?, min_precision?,
+  min_recall?}`` — run the promotion gates on the shadowed candidate;
+  swaps it in only if every gate passes.
+* ``ROLLBACK {id}`` — restore the previously active version.
+
+These are additive message types: a version-1 client that never sends
+them is unaffected, so ``PROTOCOL_VERSION`` stays 1.
+
 Server → client:
 
 * ``WELCOME {version, session}`` — HELLO accepted.
@@ -79,6 +98,13 @@ EXEC = "EXEC"
 PING = "PING"
 STATS = "STATS"
 GOODBYE = "GOODBYE"
+
+# Policy-lifecycle admin verbs (see the module docstring).
+POLICY = "POLICY"
+RELOAD = "RELOAD"
+SHADOW = "SHADOW"
+PROMOTE = "PROMOTE"
+ROLLBACK = "ROLLBACK"
 
 WELCOME = "WELCOME"
 RESULT = "RESULT"

@@ -93,11 +93,24 @@ class ServerConfig:
 
 
 class NetServer:
-    """Serves one gateway over TCP; see the module docstring."""
+    """Serves one gateway over TCP; see the module docstring.
 
-    def __init__(self, gateway: EnforcementGateway, config: ServerConfig | None = None):
+    ``lifecycle`` (a :class:`repro.lifecycle.reload.LifecycleManager`
+    bound to the same gateway) enables the policy admin verbs —
+    ``POLICY`` / ``RELOAD`` / ``SHADOW`` / ``PROMOTE`` / ``ROLLBACK`` —
+    and a ``policy`` section in ``STATS``. Without it the admin verbs
+    answer ``ERROR/bad_request``.
+    """
+
+    def __init__(
+        self,
+        gateway: EnforcementGateway,
+        config: ServerConfig | None = None,
+        lifecycle=None,
+    ):
         self.gateway = gateway
         self.config = config or ServerConfig()
+        self.lifecycle = lifecycle
         self.metrics = NetMetrics()
         self._server: asyncio.base_events.Server | None = None
         self._pool: ThreadPoolExecutor | None = None
@@ -311,6 +324,8 @@ class NetServer:
             return {"type": protocol.BYE, "reason": "goodbye"}, False
         if kind in (protocol.QUERY, protocol.EXEC):
             return await self._handle_statement(frame, session_conn)
+        if kind in _ADMIN_VERBS:
+            return await self._handle_admin(frame, kind), True
         return (
             _error(
                 frame,
@@ -352,7 +367,7 @@ class NetServer:
 
     def _handle_stats(self, frame: dict) -> dict:
         gateway_snapshot = self.gateway.snapshot()
-        return {
+        reply = {
             "type": protocol.STATS,
             "id": frame.get("id"),
             "net": self.metrics.to_wire(),
@@ -363,6 +378,165 @@ class NetServer:
             },
             "cache_hit_rate": self.gateway.cache_hit_rate(),
         }
+        if self.lifecycle is not None:
+            reply["policy"] = self.lifecycle.status()
+        else:
+            reply["policy"] = {"active_version": self.gateway.policy_version}
+        return reply
+
+    # -- policy-lifecycle admin verbs ---------------------------------------------
+
+    async def _handle_admin(self, frame: dict, kind: str) -> dict:
+        """Run one lifecycle verb on the worker pool (reloads spawn pools)."""
+        if self.lifecycle is None:
+            return _error(
+                frame,
+                protocol.ERR_BAD_REQUEST,
+                "server was started without policy lifecycle management",
+            )
+        assert self._loop is not None and self._pool is not None
+        try:
+            work = self._admin_work(frame, kind)
+        except DbacError as exc:
+            return _error(frame, protocol.ERR_BAD_REQUEST, str(exc))
+        try:
+            # Generous fixed deadline: an operator verb may spawn checker
+            # workers, which outlives the per-statement budget.
+            return await asyncio.wait_for(
+                self._loop.run_in_executor(self._pool, work), timeout=120.0
+            )
+        except asyncio.TimeoutError:
+            return _error(frame, protocol.ERR_TIMEOUT, f"{kind} did not finish in 120s")
+
+    def _admin_work(self, frame: dict, kind: str):
+        """Build the (worker-thread) thunk for one admin verb.
+
+        Frame validation happens here, on the loop thread, so malformed
+        admin requests answer immediately.
+        """
+        from repro.policy.serialize import policy_from_text
+
+        lifecycle = self.lifecycle
+        frame_id = frame.get("id")
+
+        def parse_policy() -> tuple:
+            text = frame.get("policy_text")
+            if not isinstance(text, str) or not text.strip():
+                raise NetError(
+                    f"{kind} needs a non-empty 'policy_text' string",
+                    code=protocol.ERR_BAD_REQUEST,
+                )
+            provenance = frame.get("provenance", "hand-written")
+            label = frame.get("label", "")
+            return text, provenance, label
+
+        if kind == protocol.POLICY:
+            return lambda: {
+                "type": protocol.POLICY,
+                "id": frame_id,
+                "policy": lifecycle.status(),
+            }
+        if kind == protocol.RELOAD:
+            text, provenance, label = parse_policy()
+
+            def do_reload() -> dict:
+                policy = policy_from_text(text, self.gateway.db.schema, name=label or "reloaded")
+                report = lifecycle.reload(policy, provenance=provenance, label=label)
+                return {
+                    "type": protocol.RELOAD,
+                    "id": frame_id,
+                    "report": _reload_to_wire(report),
+                }
+
+            return _admin_guard(frame, do_reload)
+        if kind == protocol.SHADOW:
+            action = frame.get("action")
+            if action == "start":
+                text, provenance, label = parse_policy()
+
+                def do_start() -> dict:
+                    policy = policy_from_text(
+                        text, self.gateway.db.schema, name=label or "candidate"
+                    )
+                    version = lifecycle.start_shadow(
+                        policy, provenance=provenance, label=label
+                    )
+                    return {
+                        "type": protocol.SHADOW,
+                        "id": frame_id,
+                        "action": "start",
+                        "candidate_version": version.version,
+                        "fingerprint": version.fingerprint,
+                    }
+
+                return _admin_guard(frame, do_start)
+            if action == "stop":
+                return _admin_guard(
+                    frame,
+                    lambda: {
+                        "type": protocol.SHADOW,
+                        "id": frame_id,
+                        "action": "stop",
+                        "stats": lifecycle.stop_shadow(),
+                    },
+                )
+            if action == "status":
+                return _admin_guard(
+                    frame,
+                    lambda: {
+                        "type": protocol.SHADOW,
+                        "id": frame_id,
+                        "action": "status",
+                        "shadow": lifecycle.shadow_status(),
+                    },
+                )
+            raise NetError(
+                "SHADOW needs action: 'start', 'stop', or 'status'",
+                code=protocol.ERR_BAD_REQUEST,
+            )
+        if kind == protocol.PROMOTE:
+            from repro.lifecycle.promote import GateConfig
+
+            overrides = {}
+            for key in (
+                "max_divergences",
+                "min_shadow_checks",
+                "min_precision",
+                "min_recall",
+            ):
+                if key in frame:
+                    overrides[key] = frame[key]
+            try:
+                gates = GateConfig(**overrides) if overrides else None
+            except TypeError as exc:
+                raise NetError(
+                    f"bad PROMOTE gate override: {exc}", code=protocol.ERR_BAD_REQUEST
+                ) from exc
+
+            def do_promote() -> dict:
+                report = lifecycle.promote(gates)
+                return {
+                    "type": protocol.PROMOTE,
+                    "id": frame_id,
+                    "promoted": report.promoted,
+                    "candidate_version": report.candidate_version,
+                    "gates": [
+                        {"name": g.name, "passed": g.passed, "detail": g.detail}
+                        for g in report.gates
+                    ],
+                    "diagnoses": report.diagnoses,
+                }
+
+            return _admin_guard(frame, do_promote)
+        assert kind == protocol.ROLLBACK
+        return _admin_guard(
+            frame,
+            lambda: {
+                "type": protocol.ROLLBACK,
+                "id": frame_id,
+                "report": _reload_to_wire(lifecycle.rollback()),
+            },
+        )
 
     async def _handle_statement(
         self, frame: dict, session_conn: GatewayConnection | None
@@ -509,6 +683,45 @@ class NetServer:
             raise ConnectionClosed() from exc
 
 
+_ADMIN_VERBS = (
+    protocol.POLICY,
+    protocol.RELOAD,
+    protocol.SHADOW,
+    protocol.PROMOTE,
+    protocol.ROLLBACK,
+)
+
+
+def _admin_guard(frame: dict, thunk):
+    """Wrap an admin thunk so domain errors become ERROR replies.
+
+    Runs on a worker thread; :class:`DbacError` covers policy parse
+    errors (with line numbers), registry errors, and lifecycle misuse.
+    """
+
+    def run() -> dict:
+        try:
+            return thunk()
+        except DbacError as exc:
+            return _error(frame, protocol.ERR_BAD_REQUEST, str(exc))
+
+    return run
+
+
+def _reload_to_wire(report) -> dict:
+    return {
+        "old_version": report.old_version,
+        "new_version": report.new_version,
+        "fingerprint": report.fingerprint,
+        "provenance": report.provenance,
+        "swap_pause_s": report.swap_pause_s,
+        "build_s": report.build_s,
+        "drained": report.drained,
+        "sessions_preserved": report.sessions_preserved,
+        "trace_facts_preserved": report.trace_facts_preserved,
+    }
+
+
 @dataclass
 class _Authenticated:
     """Internal: a successful HELLO carrying the bound session."""
@@ -541,8 +754,13 @@ class BackgroundServer:
     manager for deterministic teardown (graceful drain included).
     """
 
-    def __init__(self, gateway: EnforcementGateway, config: ServerConfig | None = None):
-        self.server = NetServer(gateway, config)
+    def __init__(
+        self,
+        gateway: EnforcementGateway,
+        config: ServerConfig | None = None,
+        lifecycle=None,
+    ):
+        self.server = NetServer(gateway, config, lifecycle=lifecycle)
         self._thread: threading.Thread | None = None
         self._ready = threading.Event()
         self._stop: asyncio.Event | None = None

@@ -94,6 +94,36 @@ class Policy:
                             found.add(arg.value)
         return found
 
+    def fingerprint(self) -> str:
+        """A stable content hash over the normalized view set.
+
+        Two policies that define the same queries fingerprint
+        identically, regardless of view names, descriptions, definition
+        order, SQL spelling, or whitespace: each view's UCQ disjuncts are
+        alpha-canonicalized (:func:`repro.relalg.memo.canonical_form`
+        renames variables by first occurrence and strips presentation
+        metadata), rendered deterministically, sorted within the view,
+        and the per-view renderings sorted across the policy before
+        hashing. Used by the lifecycle registry to deduplicate versions
+        and by benchmark TSVs for provenance; 16 hex chars of SHA-256.
+        """
+        import hashlib
+
+        from repro.relalg.memo import canonical_form
+
+        rendered_views: list[str] = []
+        for view in self:
+            disjuncts = []
+            for disjunct in view.ucq.disjuncts:
+                canonical, _ = canonical_form(disjunct)
+                body = ",".join(repr(atom) for atom in canonical.body)
+                comps = ",".join(repr(comp) for comp in canonical.comps)
+                head = ",".join(repr(term) for term in canonical.head)
+                disjuncts.append(f"({head})<-{body}|{comps}")
+            rendered_views.append(";".join(sorted(disjuncts)))
+        digest = hashlib.sha256("\n".join(sorted(rendered_views)).encode()).hexdigest()
+        return digest[:16]
+
     def with_view(self, view: View) -> "Policy":
         """A copy of this policy with one more view (for patch candidates)."""
         copy = Policy(self.views, name=self.name)

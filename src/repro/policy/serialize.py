@@ -35,11 +35,20 @@ def policy_to_text(policy: Policy) -> str:
 
 
 def policy_from_text(text: str, schema: SchemaInfo, name: str = "policy") -> Policy:
-    """Parse the text format back into a :class:`Policy`."""
+    """Parse the text format back into a :class:`Policy`.
+
+    Parse errors cite the 1-based line number and the offending line:
+    with hot policy reloads (:mod:`repro.lifecycle`), a bad policy file
+    is an operations incident and "SQL outside of a view block" alone
+    sends the operator hunting through the whole file.
+    """
     views: list[View] = []
+    seen_names: dict[str, int] = {}
     current_name: str | None = None
     current_description = ""
     current_sql: list[str] = []
+    header_lineno = 0
+    header_text = ""
 
     def flush() -> None:
         nonlocal current_name, current_description, current_sql
@@ -47,18 +56,27 @@ def policy_from_text(text: str, schema: SchemaInfo, name: str = "policy") -> Pol
             return
         sql = " ".join(part.strip() for part in current_sql).strip()
         if not sql:
-            raise PolicyError(f"view {current_name!r} has no SQL")
-        views.append(View(current_name, sql, schema, current_description))
+            raise PolicyError(
+                f"line {header_lineno}: view {current_name!r} has no SQL"
+                f" ({header_text!r})"
+            )
+        try:
+            views.append(View(current_name, sql, schema, current_description))
+        except PolicyError as error:
+            raise PolicyError(
+                f"line {header_lineno}: view {current_name!r}: {error}"
+            ) from error
         current_name = None
         current_description = ""
         current_sql = []
 
-    for raw_line in text.splitlines():
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
         line = raw_line.strip()
         if not line or line.startswith("#"):
             continue
         if line.startswith("view "):
             flush()
+            header_lineno, header_text = lineno, line
             header = line[len("view ") :]
             if "--" in header:
                 view_name, _, description = header.partition("--")
@@ -67,10 +85,16 @@ def policy_from_text(text: str, schema: SchemaInfo, name: str = "policy") -> Pol
             else:
                 current_name = header.strip()
             if not current_name:
-                raise PolicyError("view header without a name")
+                raise PolicyError(f"line {lineno}: view header without a name ({line!r})")
+            if current_name in seen_names:
+                raise PolicyError(
+                    f"line {lineno}: duplicate view name {current_name!r}"
+                    f" (first defined on line {seen_names[current_name]})"
+                )
+            seen_names[current_name] = lineno
             continue
         if current_name is None:
-            raise PolicyError(f"SQL outside of a view block: {line!r}")
+            raise PolicyError(f"line {lineno}: SQL outside of a view block: {line!r}")
         current_sql.append(line)
     flush()
     return Policy(views, name=name)

@@ -11,18 +11,26 @@ users. See ``docs/serving.md`` and the E11 benchmark.
 
 from repro.serve.cache import SharedDecisionCache
 from repro.serve.driver import DriveReport, WorkloadDriver, no_op_write_for
-from repro.serve.gateway import EnforcementGateway, GatewayConfig, GatewayConnection
+from repro.serve.gateway import (
+    DecisionAuditRecord,
+    EnforcementGateway,
+    GatewayConfig,
+    GatewayConnection,
+    PolicyEpoch,
+)
 from repro.serve.metrics import GatewayMetrics, LatencyHistogram, MetricsSnapshot
 from repro.serve.pool import CheckerPool, CheckerPoolError
 
 __all__ = [
     "CheckerPool",
     "CheckerPoolError",
+    "DecisionAuditRecord",
     "DriveReport",
     "EnforcementGateway",
     "GatewayConfig",
     "GatewayConnection",
     "GatewayMetrics",
+    "PolicyEpoch",
     "LatencyHistogram",
     "MetricsSnapshot",
     "SharedDecisionCache",

@@ -25,6 +25,20 @@ What the gateway adds over a loose pile of per-session proxies:
   every cache hit is replayed through the full
   :class:`~repro.enforce.checker.ComplianceChecker` and disagreements
   are counted (``cache_disagreements``); E11 asserts this stays zero.
+
+Policy epochs
+-------------
+Everything whose meaning depends on the *policy* — the checker, the
+decision caches, the checker pool — is bundled into one immutable
+:class:`PolicyEpoch`. A decision pins the current epoch for its whole
+duration (one refcount increment), so a hot reload
+(:mod:`repro.lifecycle.reload`) can atomically install a new epoch
+without ever tearing a decision across two policy versions: in-flight
+decisions finish entirely under the epoch they started with, new
+decisions start entirely under the new one, and the old epoch's worker
+pool is only closed once its pin count drains to zero. Session state
+(connections and their traces) lives *outside* the epoch and survives
+reloads untouched.
 """
 
 from __future__ import annotations
@@ -34,6 +48,7 @@ from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.enforce.cache import DecisionCache
+from repro.enforce.checker import ComplianceChecker
 from repro.enforce.decision import Decision
 from repro.enforce.proxy import EnforcementProxy, ProxyConfig, Session
 from repro.engine.database import Database
@@ -80,6 +95,113 @@ class GatewayConfig:
             raise ValueError("check_workers must be >= 0")
 
 
+class PolicyEpoch:
+    """One policy generation: the policy plus everything derived from it.
+
+    Immutable once installed (the caches fill, but never change policy).
+    The pin count tracks decisions currently executing under this epoch;
+    :meth:`retire` blocks until they drain, then closes the epoch's pool.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        policy: Policy,
+        config: GatewayConfig,
+        version: int = 1,
+        provenance: str = "hand-written",
+    ):
+        self.version = version
+        self.policy = policy
+        self.provenance = provenance
+        self.checker = ComplianceChecker(
+            db.schema, policy, history_enabled=config.history_enabled
+        )
+        self.shared_cache: SharedDecisionCache | None = (
+            SharedDecisionCache(policy) if config.cache_mode == "shared" else None
+        )
+        # Per-session caches (cache_mode="per-session"), keyed by the
+        # session's bindings; created lazily on first decision.
+        self._session_caches: dict[tuple, DecisionCache] = {}
+        self.pool: CheckerPool | None = (
+            CheckerPool(
+                db.schema,
+                policy,
+                workers=config.check_workers,
+                history_enabled=config.history_enabled,
+                timeout_s=config.check_timeout_s,
+            )
+            if config.check_workers > 0
+            else None
+        )
+        self._condition = threading.Condition()
+        self._pins = 0
+        self._retired = False
+
+    # -- pinning ------------------------------------------------------------------
+
+    def __enter__(self) -> "PolicyEpoch":
+        with self._condition:
+            self._pins += 1
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        with self._condition:
+            self._pins -= 1
+            if self._pins == 0:
+                self._condition.notify_all()
+
+    @property
+    def pins(self) -> int:
+        with self._condition:
+            return self._pins
+
+    def retire(self, timeout_s: float = 30.0) -> bool:
+        """Wait for in-flight decisions to drain, then close the pool.
+
+        Returns ``False`` when pinned decisions were still live at the
+        deadline (the pool is closed regardless: a straggler's pooled
+        check then falls back to the in-process checker *of its own
+        epoch*, so the decision stays untorn).
+        """
+        drained = True
+        with self._condition:
+            self._retired = True
+            deadline = None
+            while self._pins > 0:
+                if deadline is None:
+                    import time as _time
+
+                    deadline = _time.monotonic() + timeout_s
+                    remaining = timeout_s
+                else:
+                    remaining = deadline - _time.monotonic()
+                if remaining <= 0 or not self._condition.wait(timeout=remaining):
+                    drained = self._pins == 0
+                    break
+        if self.pool is not None:
+            self.pool.close()
+        return drained
+
+    # -- caches -------------------------------------------------------------------
+
+    def session_cache_for(self, key: tuple, policy: Policy) -> DecisionCache:
+        with self._condition:
+            cache = self._session_caches.get(key)
+            if cache is None:
+                cache = self._session_caches[key] = DecisionCache(policy)
+            return cache
+
+    def caches(self) -> list[DecisionCache]:
+        """Every decision cache of this epoch (for write invalidation)."""
+        targets: list[DecisionCache] = []
+        if self.shared_cache is not None:
+            targets.append(self.shared_cache)
+        with self._condition:
+            targets.extend(self._session_caches.values())
+        return targets
+
+
 class GatewayConnection(EnforcementProxy):
     """One session's connection, vended by :meth:`EnforcementGateway.connect`."""
 
@@ -91,10 +213,71 @@ class GatewayConnection(EnforcementProxy):
     ):
         super().__init__(gateway.db, gateway.policy, session, config)
         self._gateway = gateway
+        self._session_key = tuple(sorted(session.bindings.items()))
+        # The epoch pinned by the decision currently in flight on this
+        # connection (sessions are serialized, so at most one).
+        self._pinned_epoch: PolicyEpoch | None = None
         # Identifies this connection's trace to the checker pool; per
         # connection (not per principal) because fresh sessions for the
         # same principal have distinct traces.
         self._pool_token = gateway._allocate_pool_token()
+
+    # -- epoch-pinned deciding ---------------------------------------------------
+
+    def decide(self, bound: ast.Select) -> Decision:
+        """Vet a bound SELECT entirely under one policy epoch.
+
+        The epoch is read once and pinned for the whole decision — cache
+        lookup, fresh check (pooled or in-process), verification, store —
+        so a concurrent hot reload can never produce a decision computed
+        against a mix of two policies.
+        """
+        gateway = self._gateway
+        with gateway.epoch as epoch:
+            self._pinned_epoch = epoch
+            try:
+                decision = super().decide(bound)
+            finally:
+                self._pinned_epoch = None
+        decision.policy_version = epoch.version
+        audit = gateway.decision_audit
+        if audit is not None:
+            trace = self.trace if self.config.history_enabled else None
+            audit(
+                DecisionAuditRecord(
+                    sql=decision.sql,
+                    bindings=dict(self.session.bindings),
+                    facts=trace.facts if trace is not None else (),
+                    trace_len=len(trace.facts) if trace is not None else 0,
+                    allowed=decision.allowed,
+                    policy_version=epoch.version,
+                    from_cache=decision.from_cache,
+                )
+            )
+        shadow = gateway.shadow
+        if shadow is not None:
+            shadow.submit(self, bound, decision)
+        return decision
+
+    def _decision_cache(self) -> DecisionCache | None:
+        """The pinned epoch's cache for this session (mode-dependent)."""
+        epoch = self._pinned_epoch
+        if epoch is None:  # plain proxy path (not reached via decide())
+            return self.config.cache
+        return self._epoch_cache(epoch)
+
+    def _epoch_cache(self, epoch: PolicyEpoch) -> DecisionCache | None:
+        mode = self._gateway.config.cache_mode
+        if mode == "shared":
+            return epoch.shared_cache
+        if mode == "per-session":
+            return epoch.session_cache_for(self._session_key, epoch.policy)
+        return None
+
+    @property
+    def cache(self) -> DecisionCache | None:
+        """This session's decision cache under the *current* epoch."""
+        return self._epoch_cache(self._gateway.epoch)
 
     # -- hooks wired into the gateway ------------------------------------------
 
@@ -117,7 +300,9 @@ class GatewayConnection(EnforcementProxy):
             if self._gateway.config.verify_cached_decisions:
                 self._verify_cached(decision, bound)
         else:
-            metrics.increment("cache_misses" if self.config.cache is not None else "uncached_checks")
+            metrics.increment(
+                "cache_misses" if self._decision_cache() is not None else "uncached_checks"
+            )
         for rewriting in decision.rewritings:
             for atom in rewriting.atoms:
                 metrics.count_view_check(atom.rel)
@@ -131,15 +316,42 @@ class GatewayConnection(EnforcementProxy):
             self._gateway.metrics.increment("cache_disagreements")
 
     def _check_fresh(self, bound: ast.Select, trace) -> Decision:
-        """Cache-miss check: pooled when configured, else in-process."""
-        pool = self._gateway.pool
-        if pool is None:
+        """Cache-miss check: pooled when configured, else in-process.
+
+        Always runs against the pinned epoch's checker/pool so the
+        decision cannot straddle a reload; the pool-failure fallback uses
+        the *same epoch's* in-process checker for the same reason.
+        """
+        epoch = self._pinned_epoch
+        if epoch is None:
             return super()._check_fresh(bound, trace)
+        if epoch.pool is None:
+            return epoch.checker.check(bound, self.session.bindings, trace)
         try:
-            return pool.check(self._pool_token, self.session.bindings, bound, trace)
+            return epoch.pool.check(self._pool_token, self.session.bindings, bound, trace)
         except CheckerPoolError:
             self._gateway.metrics.increment("pool_fallbacks")
-            return super()._check_fresh(bound, trace)
+            return epoch.checker.check(bound, self.session.bindings, trace)
+
+
+@dataclass(frozen=True)
+class DecisionAuditRecord:
+    """One decision as the gateway made it, for external re-verification.
+
+    Produced when ``gateway.decision_audit`` is set (the E14 benchmark's
+    no-torn-decision instrument): carries everything needed to replay
+    the decision against a fresh checker for the policy version that
+    made it — the bound SQL, the session bindings, and the certified
+    trace facts *as of decision time*.
+    """
+
+    sql: str
+    bindings: dict
+    facts: tuple
+    trace_len: int
+    allowed: bool
+    policy_version: int
+    from_cache: bool
 
 
 class EnforcementGateway:
@@ -152,30 +364,67 @@ class EnforcementGateway:
         config: GatewayConfig | None = None,
     ):
         self.db = db
-        self.policy = policy
         self.config = config or GatewayConfig()
         self.metrics = GatewayMetrics()
-        self.shared_cache: SharedDecisionCache | None = (
-            SharedDecisionCache(policy) if self.config.cache_mode == "shared" else None
-        )
-        self._session_caches: list[DecisionCache] = []
+        self._epoch = PolicyEpoch(db, policy, self.config)
         self._connections: dict[tuple, GatewayConnection] = {}
-        # RLock: connect() holds it while _proxy_config() re-enters to
-        # register a per-session cache.
+        # RLock: connect() holds it while _proxy_config() re-enters.
         self._connect_lock = threading.RLock()
         self._write_lock = threading.RLock()
         self._pool_tokens = 0
-        self.pool: CheckerPool | None = (
-            CheckerPool(
-                db.schema,
-                policy,
-                workers=self.config.check_workers,
-                history_enabled=self.config.history_enabled,
-                timeout_s=self.config.check_timeout_s,
-            )
-            if self.config.check_workers > 0
-            else None
-        )
+        #: Optional per-decision audit hook (see DecisionAuditRecord).
+        self.decision_audit = None
+        #: Optional shadow runner (repro.lifecycle.shadow.ShadowRunner).
+        self.shadow = None
+
+    # -- the policy epoch --------------------------------------------------------
+
+    @property
+    def epoch(self) -> PolicyEpoch:
+        return self._epoch
+
+    @property
+    def policy(self) -> Policy:
+        """The active policy (the current epoch's)."""
+        return self._epoch.policy
+
+    @property
+    def policy_version(self) -> int:
+        return self._epoch.version
+
+    @property
+    def shared_cache(self) -> SharedDecisionCache | None:
+        return self._epoch.shared_cache
+
+    @property
+    def pool(self) -> CheckerPool | None:
+        return self._epoch.pool
+
+    def build_epoch(
+        self, policy: Policy, version: int, provenance: str = "hand-written"
+    ) -> PolicyEpoch:
+        """Construct (but do not install) an epoch for ``policy``.
+
+        Doing the expensive part — checker construction, pool worker
+        spawning — *before* the swap keeps the install pause to a
+        pointer assignment.
+        """
+        return PolicyEpoch(self.db, policy, self.config, version, provenance)
+
+    def install_epoch(self, epoch: PolicyEpoch) -> PolicyEpoch:
+        """Atomically make ``epoch`` the deciding epoch; returns the old one.
+
+        Taken under the write lock so the swap also serializes against
+        write-driven invalidation (a write either invalidates the old
+        epoch's caches, which are then discarded wholesale, or the new
+        epoch's — never a half-installed mix). The caller is responsible
+        for retiring the returned epoch (``old.retire()``), normally via
+        :func:`repro.lifecycle.reload.hot_reload`.
+        """
+        with self._write_lock:
+            old, self._epoch = self._epoch, epoch
+            self.metrics.increment("policy_reloads")
+        return old
 
     # -- session management -----------------------------------------------------
 
@@ -215,8 +464,10 @@ class EnforcementGateway:
             for connection in self._connections.values():
                 connection.close()
             self._connections.clear()
-        if self.pool is not None:
-            self.pool.close()
+        if self.shadow is not None:
+            self.shadow.close()
+            self.shadow = None
+        self._epoch.retire(timeout_s=5.0)
 
     def _allocate_pool_token(self) -> int:
         with self._connect_lock:
@@ -231,18 +482,13 @@ class EnforcementGateway:
         return Session.for_user(session)
 
     def _proxy_config(self) -> ProxyConfig:
-        if self.config.cache_mode == "shared":
-            cache: DecisionCache | None = self.shared_cache
-        elif self.config.cache_mode == "per-session":
-            cache = DecisionCache(self.policy)
-            with self._connect_lock:
-                self._session_caches.append(cache)
-        else:
-            cache = None
+        # Decision caches are epoch-owned (see PolicyEpoch); the proxy
+        # config's cache field stays None and GatewayConnection resolves
+        # the cache through its pinned epoch on every decision.
         return ProxyConfig(
             history_enabled=self.config.history_enabled,
             record_decisions=self.config.record_decisions,
-            cache=cache,
+            cache=None,
             decision_log_cap=self.config.decision_log_cap,
         )
 
@@ -267,21 +513,13 @@ class EnforcementGateway:
             outcome = self.db.sql(stmt, args, named)
             tables = self._written_tables(stmt)
             evicted = 0
-            for cache in self._invalidation_targets():
+            for cache in self._epoch.caches():
                 for table in tables:
                     evicted += cache.invalidate_table(table)
             self.metrics.increment("writes")
             if evicted:
                 self.metrics.increment("templates_invalidated", evicted)
             return outcome
-
-    def _invalidation_targets(self) -> list[DecisionCache]:
-        targets: list[DecisionCache] = []
-        if self.shared_cache is not None:
-            targets.append(self.shared_cache)
-        with self._connect_lock:
-            targets.extend(self._session_caches)
-        return targets
 
     @staticmethod
     def _written_tables(stmt: ast.Statement) -> tuple[str, ...]:
@@ -293,12 +531,18 @@ class EnforcementGateway:
 
     def snapshot(self) -> MetricsSnapshot:
         snapshot = self.metrics.snapshot()
-        if self.shared_cache is not None:
-            for name, value in self.shared_cache.stats().items():
+        epoch = self._epoch
+        snapshot.counters["policy_version"] = epoch.version
+        if epoch.shared_cache is not None:
+            for name, value in epoch.shared_cache.stats().items():
                 snapshot.counters[f"shared_cache_{name}"] = value
-        if self.pool is not None:
-            for name, value in self.pool.stats().items():
+        if epoch.pool is not None:
+            for name, value in epoch.pool.stats().items():
                 snapshot.counters[f"pool_{name}"] = value
+        shadow = self.shadow
+        if shadow is not None:
+            for name, value in shadow.stats().items():
+                snapshot.counters[f"shadow_{name}"] = value
         # This process's rewriting-core memo counters (worker-side ones
         # appear under pool_memo_* above).
         for name, value in memo.memo_stats().items():
@@ -307,10 +551,10 @@ class EnforcementGateway:
 
     def cache_hit_rate(self) -> float:
         """Hit rate across whichever caches this configuration uses."""
-        if self.shared_cache is not None:
-            return self.shared_cache.hit_rate
-        with self._connect_lock:
-            caches = list(self._session_caches)
+        epoch = self._epoch
+        if epoch.shared_cache is not None:
+            return epoch.shared_cache.hit_rate
+        caches = epoch.caches()
         hits = sum(cache.hits for cache in caches)
         misses = sum(cache.misses for cache in caches)
         total = hits + misses

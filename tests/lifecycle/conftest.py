@@ -1,0 +1,32 @@
+"""Shared lifecycle-test fixtures: a calendar gateway with known data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policy.policy import Policy
+from repro.serve import EnforcementGateway, GatewayConfig
+from repro.workloads import calendar_app
+
+
+@pytest.fixture
+def calendar_pair():
+    """(app, db) with the Example 2.1 attendance row guaranteed present."""
+    app = calendar_app.make_app()
+    db = app.make_database(size=10, seed=3)
+    if db.query("SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2").is_empty():
+        db.sql("INSERT INTO Attendance VALUES (1, 2)")
+    return app, db
+
+
+@pytest.fixture
+def gateway(calendar_pair):
+    app, db = calendar_pair
+    gw = EnforcementGateway(db, app.ground_truth_policy(), GatewayConfig())
+    yield gw
+    gw.close()
+
+
+def reduced_policy(policy: Policy, drop: str = "V2") -> Policy:
+    """The ground-truth policy minus one view (the seeded regression)."""
+    return Policy([v for v in policy.views if v.name != drop], name=f"minus-{drop}")

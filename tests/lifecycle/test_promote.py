@@ -1,0 +1,220 @@
+"""Promotion gates: shadow agreement, semantic compare, disclosure regression."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enforce.decision import PolicyViolation
+from repro.lifecycle import (
+    GateConfig,
+    LifecycleManager,
+    SensitiveCase,
+    evaluate_gates,
+)
+from repro.lifecycle.promote import subsumption_matrix
+from repro.lifecycle.shadow import ShadowRunner
+from repro.policy.policy import Policy, View
+from repro.relalg.translate import translate_select
+from tests.lifecycle.conftest import reduced_policy
+
+
+def gate(report, name):
+    (found,) = [g for g in report.gates if g.name == name]
+    return found
+
+
+def run_traffic(gateway, statements):
+    connection = gateway.connect(1)
+    for sql in statements:
+        try:
+            connection.query(sql)
+        except PolicyViolation:
+            pass
+    assert gateway.shadow.drain(timeout_s=20.0)
+
+
+ALLOWED_TRAFFIC = [
+    f"SELECT 1 FROM Attendance WHERE UId = 1 AND EId = {eid}" for eid in range(1, 6)
+]
+
+
+class TestIndividualGates:
+    def test_all_gates_pass_for_equivalent_candidate(self, calendar_pair, gateway):
+        app, db = calendar_pair
+        candidate = Policy(app.ground_truth_policy().views, name="copy")
+        runner = ShadowRunner(gateway, candidate, 2)
+        gateway.shadow = runner
+        run_traffic(gateway, ALLOWED_TRAFFIC)
+        report = evaluate_gates(
+            gateway.policy, candidate, runner, GateConfig(min_shadow_checks=5),
+            db.schema, candidate_version=2,
+        )
+        assert report.passed
+        assert not report.diagnoses
+        assert [g.name for g in report.gates] == ["shadow", "compare", "disclosure"]
+
+    def test_too_few_shadow_checks_fails_the_shadow_gate(self, calendar_pair, gateway):
+        app, db = calendar_pair
+        candidate = app.ground_truth_policy()
+        runner = ShadowRunner(gateway, candidate, 2)
+        gateway.shadow = runner
+        run_traffic(gateway, ALLOWED_TRAFFIC[:2])
+        report = evaluate_gates(
+            gateway.policy, candidate, runner, GateConfig(min_shadow_checks=100),
+            db.schema,
+        )
+        assert not report.passed
+        assert not gate(report, "shadow").passed
+        assert "only 2 shadow checks" in gate(report, "shadow").detail
+
+    def test_no_shadow_run_fails_closed(self, calendar_pair, gateway):
+        app, db = calendar_pair
+        report = evaluate_gates(
+            gateway.policy, app.ground_truth_policy(), None, GateConfig(), db.schema
+        )
+        assert not gate(report, "shadow").passed
+
+    def test_divergences_fail_the_gate_with_diagnoses(self, calendar_pair, gateway):
+        app, db = calendar_pair
+        candidate = reduced_policy(app.ground_truth_policy())
+        runner = ShadowRunner(gateway, candidate, 2)
+        gateway.shadow = runner
+        run_traffic(
+            gateway,
+            ALLOWED_TRAFFIC
+            + [
+                "SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2",
+                "SELECT * FROM Events WHERE EId = 2",
+            ],
+        )
+        report = evaluate_gates(
+            gateway.policy, candidate, runner, GateConfig(min_shadow_checks=5),
+            db.schema,
+        )
+        shadow_gate = gate(report, "shadow")
+        assert not shadow_gate.passed and "allow→block" in shadow_gate.detail
+        assert report.diagnoses
+        assert "allow_to_block" in report.diagnoses[0]
+
+    def test_lost_view_fails_the_compare_gate(self, calendar_pair, gateway):
+        app, db = calendar_pair
+        candidate = reduced_policy(app.ground_truth_policy())
+        report = evaluate_gates(
+            gateway.policy, candidate, None, GateConfig(), db.schema
+        )
+        compare = gate(report, "compare")
+        assert not compare.passed
+        assert "V2" in compare.detail
+
+    def test_disclosure_gate_catches_new_pqi(self, calendar_pair, gateway):
+        """A candidate leaking all profiles makes PQI newly hold on a
+        sensitive query the active policy keeps uninferable."""
+        app, db = calendar_pair
+        leaky = Policy(
+            list(app.ground_truth_policy().views)
+            + [View("VAll", "SELECT * FROM Users", db.schema, "leaks everything")],
+            name="leaky",
+        )
+        sensitive = translate_select(
+            db.parse("SELECT Name FROM Users WHERE UId = 2"), db.schema
+        ).disjuncts[0]
+        config = GateConfig(
+            sensitive_suite=(
+                SensitiveCase("other-profile", sensitive, (("MyUId", 1),)),
+            ),
+        )
+        report = evaluate_gates(gateway.policy, leaky, None, config, db.schema)
+        disclosure = gate(report, "disclosure")
+        assert not disclosure.passed
+        assert "other-profile" in disclosure.detail
+        # The active policy itself sails through its own disclosure gate.
+        clean = evaluate_gates(
+            gateway.policy, app.ground_truth_policy(), None, config, db.schema
+        )
+        assert gate(clean, "disclosure").passed
+
+
+class TestManagerPromotion:
+    def test_promotion_swaps_and_stops_shadow(self, calendar_pair, gateway):
+        app, db = calendar_pair
+        manager = LifecycleManager(
+            gateway, gates=GateConfig(min_shadow_checks=5)
+        )
+        registered = manager.start_shadow(
+            Policy(app.ground_truth_policy().views, name="mined"),
+            provenance="extracted",
+        )
+        run_traffic(gateway, ALLOWED_TRAFFIC)
+        report = manager.promote()
+        assert report.promoted
+        assert gateway.policy_version == registered.version == 2
+        assert gateway.shadow is None
+        assert manager.registry.active_version == 2
+        assert gateway.metrics.counter("promotions") == 1
+
+    def test_failed_promotion_keeps_shadow_running(self, calendar_pair, gateway):
+        app, db = calendar_pair
+        manager = LifecycleManager(
+            gateway, gates=GateConfig(min_shadow_checks=5)
+        )
+        manager.start_shadow(reduced_policy(app.ground_truth_policy()))
+        run_traffic(
+            gateway,
+            ALLOWED_TRAFFIC
+            + [
+                "SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2",
+                "SELECT * FROM Events WHERE EId = 2",
+            ],
+        )
+        report = manager.promote()
+        assert not report.promoted and not report.passed
+        assert report.diagnoses
+        assert gateway.shadow is not None  # operator decides what happens next
+        assert gateway.policy_version == 1
+        assert gateway.metrics.counter("promotions_rejected") == 1
+        manager.stop_shadow()
+        assert gateway.shadow is None
+
+    def test_second_shadow_rejected_while_one_runs(self, calendar_pair, gateway):
+        from repro.lifecycle.reload import LifecycleError
+
+        app, db = calendar_pair
+        manager = LifecycleManager(gateway)
+        manager.start_shadow(app.ground_truth_policy())
+        with pytest.raises(LifecycleError):
+            manager.start_shadow(app.ground_truth_policy())
+        manager.stop_shadow()
+
+    def test_rollback_after_promotion_restores_prior_version(
+        self, calendar_pair, gateway
+    ):
+        app, db = calendar_pair
+        manager = LifecycleManager(
+            gateway, gates=GateConfig(min_shadow_checks=3)
+        )
+        manager.start_shadow(reduced_policy(app.ground_truth_policy(), drop="V4"))
+        run_traffic(gateway, ALLOWED_TRAFFIC[:3])
+        # V4 loss fails compare; promote with relaxed thresholds to force
+        # the swap, then roll back.
+        report = manager.promote(
+            gates=GateConfig(min_shadow_checks=3, min_recall=0.0)
+        )
+        assert report.promoted and gateway.policy_version == 2
+        rollback = manager.rollback()
+        assert rollback.new_version == 1
+        assert "V4" in gateway.policy
+
+
+class TestSubsumptionMatrix:
+    def test_rows_cover_both_directions(self, calendar_pair):
+        app, db = calendar_pair
+        truth = app.ground_truth_policy()
+        candidate = reduced_policy(truth)
+        rows = subsumption_matrix(candidate, truth)
+        directions = {direction for direction, _, _ in rows}
+        assert directions == {"candidate→truth", "truth→candidate"}
+        verdicts = {
+            (direction, name): covered for direction, name, covered in rows
+        }
+        assert verdicts[("truth→candidate", "V2")] is False
+        assert verdicts[("candidate→truth", "V1")] is True

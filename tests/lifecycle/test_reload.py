@@ -1,0 +1,196 @@
+"""Hot reload: atomic epoch swap, preserved traces, no torn decisions."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.enforce.checker import ComplianceChecker
+from repro.enforce.decision import PolicyViolation
+from repro.lifecycle import LifecycleManager, hot_reload
+from repro.lifecycle.reload import LifecycleError
+from repro.serve import EnforcementGateway, GatewayConfig
+from repro.serve.pool import _TraceReplica
+from tests.lifecycle.conftest import reduced_policy
+
+
+class TestHotReload:
+    def test_swap_changes_the_deciding_policy(self, calendar_pair, gateway):
+        app, db = calendar_pair
+        connection = gateway.connect(5)
+        connection.query("SELECT EId FROM Attendance WHERE UId = 5")
+        report = hot_reload(
+            gateway, reduced_policy(app.ground_truth_policy()), version=2,
+            provenance="patched",
+        )
+        assert report.new_version == 2 and gateway.policy_version == 2
+        assert "V2" not in gateway.policy
+        assert report.drained
+
+    def test_decisions_stamp_their_epoch_version(self, calendar_pair, gateway):
+        app, db = calendar_pair
+        connection = gateway.connect(1)
+        before = connection.decide(db.parse("SELECT EId FROM Attendance WHERE UId = 1"))
+        hot_reload(gateway, app.ground_truth_policy(), version=2)
+        after = connection.decide(db.parse("SELECT EId FROM Attendance WHERE UId = 1"))
+        assert (before.policy_version, after.policy_version) == (1, 2)
+
+    def test_traces_survive_and_keep_gating(self, calendar_pair, gateway):
+        """Example 2.1 across a reload: Q1 under v1 justifies Q2 under v2."""
+        app, db = calendar_pair
+        connection = gateway.connect(1)
+        connection.query("SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2")
+        facts_before = len(connection.trace.facts)
+        report = hot_reload(gateway, app.ground_truth_policy(), version=2)
+        assert report.sessions_preserved == 1
+        assert report.trace_facts_preserved == facts_before
+        assert len(connection.trace.facts) == facts_before
+        # The certified Q1 fact, recorded under v1, still justifies Q2 now.
+        assert len(connection.query("SELECT * FROM Events WHERE EId = 2")) == 1
+        # A fresh session has no such history and stays blocked.
+        with pytest.raises(PolicyViolation):
+            gateway.connect(1, fresh=True).query("SELECT * FROM Events WHERE EId = 2")
+
+    def test_caches_are_rebuilt_not_migrated(self, calendar_pair, gateway):
+        app, db = calendar_pair
+        connection = gateway.connect(1)
+        connection.query("SELECT EId FROM Attendance WHERE UId = 1")
+        old_cache = gateway.shared_cache
+        assert old_cache.size == 1
+        hot_reload(gateway, app.ground_truth_policy(), version=2)
+        assert gateway.shared_cache is not old_cache
+        assert gateway.shared_cache.size == 0
+        # Re-warms from traffic under the new epoch.
+        connection.query("SELECT EId FROM Attendance WHERE UId = 1")
+        assert gateway.shared_cache.size == 1
+
+    def test_reload_counter_increments(self, calendar_pair, gateway):
+        app, _ = calendar_pair
+        hot_reload(gateway, app.ground_truth_policy(), version=2)
+        assert gateway.metrics.counter("policy_reloads") == 1
+
+    def test_reload_rebinds_pool_workers(self, calendar_pair):
+        app, db = calendar_pair
+        gateway = EnforcementGateway(
+            db, app.ground_truth_policy(), GatewayConfig(check_workers=1)
+        )
+        try:
+            connection = gateway.connect(1)
+            connection.query("SELECT EId FROM Attendance WHERE UId = 1")
+            old_pool = gateway.pool
+            hot_reload(
+                gateway, reduced_policy(app.ground_truth_policy(), drop="V3"),
+                version=2,
+            )
+            assert gateway.pool is not old_pool
+            # The new pool's workers decide under the new policy.
+            connection2 = gateway.connect(2)
+            with pytest.raises(PolicyViolation):
+                connection2.query("SELECT Name FROM Users WHERE UId = 2")
+        finally:
+            gateway.close()
+
+
+class TestNoTornDecisions:
+    def test_concurrent_reloads_never_mix_policies(self, calendar_pair):
+        """Audit every decision made during a reload storm and re-verify it
+        against a fresh checker for the version that claims to have made
+        it: with the epoch pinned per decision, the verdicts must agree."""
+        app, db = calendar_pair
+        truth = app.ground_truth_policy()
+        without_v2 = reduced_policy(truth)
+        policies = {1: truth}
+        gateway = EnforcementGateway(db, truth, GatewayConfig())
+        audits = []
+        audit_lock = threading.Lock()
+
+        def audit(record):
+            with audit_lock:
+                audits.append(record)
+
+        gateway.decision_audit = audit
+        stop = threading.Event()
+        errors = []
+
+        def traffic(uid: int) -> None:
+            connection = gateway.connect(uid)
+            try:
+                while not stop.is_set():
+                    connection.query(f"SELECT 1 FROM Attendance WHERE UId = {uid} AND EId = 2")
+                    try:
+                        connection.query("SELECT * FROM Events WHERE EId = 2")
+                    except PolicyViolation:
+                        pass
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=traffic, args=(uid,)) for uid in (1, 2, 3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for version in range(2, 8):
+                policy = truth if version % 2 == 1 else without_v2
+                policies[version] = policy
+                hot_reload(gateway, policy, version=version)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        gateway.close()
+        assert not errors
+        assert len(audits) > 20
+        checkers = {
+            version: ComplianceChecker(db.schema, policy)
+            for version, policy in policies.items()
+        }
+        torn = 0
+        for record in audits:
+            replica = _TraceReplica()
+            replica.apply([("add", fact) for fact in record.facts])
+            fresh = checkers[record.policy_version].check(
+                db.parse(record.sql), record.bindings, replica
+            )
+            if fresh.allowed != record.allowed:
+                torn += 1
+        assert torn == 0
+
+
+class TestLifecycleManager:
+    def test_registry_versions_track_epoch_versions(self, calendar_pair, gateway):
+        app, _ = calendar_pair
+        manager = LifecycleManager(gateway)
+        report = manager.reload(reduced_policy(app.ground_truth_policy()))
+        assert report.new_version == gateway.policy_version == 2
+        assert manager.registry.active_version == 2
+
+    def test_rollback_restores_previous_version(self, calendar_pair, gateway):
+        app, db = calendar_pair
+        manager = LifecycleManager(gateway)
+        manager.reload(reduced_policy(app.ground_truth_policy()), provenance="patched")
+        connection = gateway.connect(1)
+        connection.query("SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2")
+        with pytest.raises(PolicyViolation):
+            connection.query("SELECT * FROM Events WHERE EId = 2")
+        report = manager.rollback()
+        assert report.new_version == 1
+        assert gateway.policy_version == 1
+        assert "V2" in gateway.policy
+        # The rolled-back policy decides with fresh caches but the kept trace.
+        assert len(connection.query("SELECT * FROM Events WHERE EId = 2")) == 1
+        assert gateway.metrics.counter("policy_rollbacks") == 1
+
+    def test_rollback_invalidates_caches(self, calendar_pair, gateway):
+        app, _ = calendar_pair
+        manager = LifecycleManager(gateway)
+        gateway.connect(1).query("SELECT EId FROM Attendance WHERE UId = 1")
+        manager.reload(app.ground_truth_policy())
+        gateway.connect(1).query("SELECT EId FROM Attendance WHERE UId = 1")
+        assert gateway.shared_cache.size == 1
+        manager.rollback()
+        assert gateway.shared_cache.size == 0
+
+    def test_promote_without_shadow_raises(self, calendar_pair, gateway):
+        manager = LifecycleManager(gateway)
+        with pytest.raises(LifecycleError):
+            manager.promote()

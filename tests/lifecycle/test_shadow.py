@@ -1,0 +1,160 @@
+"""Shadow mode: candidate policies trialed against live gateway traffic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enforce.decision import PolicyViolation
+from repro.lifecycle import DivergenceLog, ShadowRunner
+from repro.lifecycle.shadow import Divergence
+from repro.policy.policy import Policy, View
+from tests.lifecycle.conftest import reduced_policy
+
+
+def start_shadow(gateway, candidate, version=2, **kwargs) -> ShadowRunner:
+    runner = ShadowRunner(gateway, candidate, version, **kwargs)
+    gateway.shadow = runner
+    return runner
+
+
+def finish(runner) -> dict:
+    assert runner.drain(timeout_s=20.0)
+    return runner.stats()
+
+
+class TestAgreement:
+    def test_identical_candidate_never_diverges(self, calendar_pair, gateway):
+        app, db = calendar_pair
+        runner = start_shadow(gateway, app.ground_truth_policy())
+        connection = gateway.connect(1)
+        for eid in range(1, 6):
+            connection.query(f"SELECT 1 FROM Attendance WHERE UId = 1 AND EId = {eid}")
+        stats = finish(runner)
+        assert stats["checks"] == 5
+        assert stats["divergences"] == 0
+
+    def test_blocked_statements_are_shadow_checked_too(self, calendar_pair, gateway):
+        app, db = calendar_pair
+        runner = start_shadow(gateway, app.ground_truth_policy())
+        connection = gateway.connect(1)
+        with pytest.raises(PolicyViolation):
+            connection.query("SELECT * FROM Events WHERE EId = 2")
+        stats = finish(runner)
+        assert stats["checks"] == 1
+        assert stats["divergences"] == 0
+
+
+class TestRegressionDetection:
+    def test_allow_to_block_caught_on_history_gated_query(self, calendar_pair, gateway):
+        """Candidate minus V2 flips the Example 2.1 allow to a block."""
+        app, db = calendar_pair
+        runner = start_shadow(gateway, reduced_policy(app.ground_truth_policy()))
+        connection = gateway.connect(1)
+        connection.query("SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2")
+        connection.query("SELECT * FROM Events WHERE EId = 2")  # allowed by V2
+        stats = finish(runner)
+        assert stats["allow_to_block"] == 1
+        (divergence,) = [
+            d for d in runner.log.entries() if d.kind == "allow_to_block"
+        ]
+        assert "Events" in divergence.sql
+        assert divergence.active_allowed and not divergence.candidate_allowed
+        assert (divergence.active_version, divergence.candidate_version) == (1, 2)
+        assert divergence.trace_len > 0  # the snapshot carries the Q1 history
+
+    def test_block_to_allow_caught_on_attack_query(self, calendar_pair, gateway):
+        """An over-broad candidate (all of Events) flips a block to an allow."""
+        app, db = calendar_pair
+        broad = Policy(
+            list(app.ground_truth_policy().views)
+            + [View("VAll", "SELECT * FROM Events", db.schema, "too broad")],
+            name="over-broad",
+        )
+        runner = start_shadow(gateway, broad)
+        connection = gateway.connect(1)
+        with pytest.raises(PolicyViolation):
+            connection.query("SELECT * FROM Events WHERE EId = 2")
+        stats = finish(runner)
+        assert stats["block_to_allow"] == 1
+        (divergence,) = runner.log.entries()
+        assert divergence.kind == "block_to_allow"
+        assert not divergence.active_allowed and divergence.candidate_allowed
+
+    def test_snapshot_pins_decision_time_history(self, calendar_pair, gateway):
+        """A later Q1 must not retroactively justify the earlier Q2 shadow check.
+
+        Q2 arrives *before* the Q1 that would justify it under the
+        candidate; the shadow check for Q2 must see the empty trace the
+        active decision saw, not the trace as of check time.
+        """
+        app, db = calendar_pair
+        runner = start_shadow(gateway, app.ground_truth_policy())
+        connection = gateway.connect(1)
+        with pytest.raises(PolicyViolation):
+            connection.query("SELECT * FROM Events WHERE EId = 2")
+        connection.query("SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2")
+        connection.query("SELECT * FROM Events WHERE EId = 2")
+        stats = finish(runner)
+        # Identical policies: if snapshots leaked, the first (blocked) Q2
+        # would shadow-decide allow and show up as a fake divergence.
+        assert stats["checks"] == 3
+        assert stats["divergences"] == 0
+
+
+class TestPooledShadow:
+    def test_candidate_pool_detects_same_regressions(self, calendar_pair, gateway):
+        app, db = calendar_pair
+        runner = start_shadow(
+            gateway, reduced_policy(app.ground_truth_policy()), workers=1
+        )
+        try:
+            connection = gateway.connect(1)
+            connection.query("SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2")
+            connection.query("SELECT * FROM Events WHERE EId = 2")
+            stats = finish(runner)
+            assert stats["allow_to_block"] == 1
+            assert stats["errors"] == 0
+        finally:
+            runner.close()
+            gateway.shadow = None
+
+
+class TestBackpressureAndLog:
+    def test_queue_overflow_drops_instead_of_blocking(self, calendar_pair, gateway):
+        app, db = calendar_pair
+        runner = start_shadow(gateway, app.ground_truth_policy(), max_pending=0)
+        connection = gateway.connect(1)
+        connection.query("SELECT EId FROM Attendance WHERE UId = 1")
+        stats = runner.stats()
+        assert stats["dropped"] == 1
+        assert stats["submitted"] == 0
+
+    def test_divergence_log_is_bounded_but_counters_exact(self):
+        log = DivergenceLog(cap=2)
+        for index in range(5):
+            log.record(
+                Divergence(
+                    sql=f"SELECT {index}",
+                    stmt=None,
+                    bindings=(),
+                    trace_len=0,
+                    active_allowed=True,
+                    candidate_allowed=False,
+                    active_version=1,
+                    candidate_version=2,
+                )
+            )
+        assert len(log.entries()) == 2
+        assert log.stats()["divergences"] == 5
+        assert log.stats()["allow_to_block"] == 5
+
+    def test_closed_runner_sheds_submissions(self, calendar_pair, gateway):
+        app, db = calendar_pair
+        runner = start_shadow(gateway, app.ground_truth_policy())
+        runner.close()
+        gateway.shadow = None
+        connection = gateway.connect(1)
+        bound = db.parse("SELECT EId FROM Attendance WHERE UId = 1")
+        decision = connection.decide(bound)
+        assert decision.allowed
+        assert not runner.submit(connection, bound, decision)

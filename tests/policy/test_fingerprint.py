@@ -1,0 +1,89 @@
+"""Policy.fingerprint(): a content hash over the *normalized* view set."""
+
+from repro.policy import Policy, View, policy_from_text, policy_to_text
+from repro.workloads import calendar_app
+
+SCHEMA = calendar_app.make_schema()
+
+
+def _policy(views, name="p"):
+    return Policy(views, name=name)
+
+
+class TestStability:
+    def test_sixteen_hex_chars(self, calendar_policy):
+        fingerprint = calendar_policy.fingerprint()
+        assert len(fingerprint) == 16
+        int(fingerprint, 16)  # valid hex
+
+    def test_same_policy_same_fingerprint(self, calendar_policy):
+        assert calendar_policy.fingerprint() == calendar_policy.fingerprint()
+
+    def test_view_order_is_irrelevant(self, calendar_policy):
+        reordered = _policy(list(reversed(calendar_policy.views)))
+        assert reordered.fingerprint() == calendar_policy.fingerprint()
+
+    def test_view_names_and_descriptions_are_irrelevant(self, calendar_policy):
+        renamed = _policy(
+            [
+                View(f"Renamed{i}", view.sql, SCHEMA, f"other description {i}")
+                for i, view in enumerate(calendar_policy)
+            ]
+        )
+        assert renamed.fingerprint() == calendar_policy.fingerprint()
+
+    def test_policy_name_is_irrelevant(self, calendar_policy):
+        other = _policy(calendar_policy.views, name="completely-different")
+        assert other.fingerprint() == calendar_policy.fingerprint()
+
+    def test_sql_whitespace_is_irrelevant(self):
+        compact = _policy(
+            [View("V", "SELECT EId FROM Attendance WHERE UId = ?MyUId", SCHEMA)]
+        )
+        spread = _policy(
+            [View("V", "SELECT  EId  FROM  Attendance  WHERE  UId  =  ?MyUId", SCHEMA)]
+        )
+        assert compact.fingerprint() == spread.fingerprint()
+
+    def test_variable_naming_is_irrelevant(self):
+        plain = _policy(
+            [View("V", "SELECT EId FROM Attendance WHERE UId = ?MyUId", SCHEMA)]
+        )
+        aliased = _policy(
+            [View("V", "SELECT a.EId FROM Attendance a WHERE a.UId = ?MyUId", SCHEMA)]
+        )
+        assert plain.fingerprint() == aliased.fingerprint()
+
+    def test_serialization_round_trip_preserves_fingerprint(self, calendar_policy):
+        text = policy_to_text(calendar_policy)
+        restored = policy_from_text(text, SCHEMA, name="restored")
+        assert restored.fingerprint() == calendar_policy.fingerprint()
+
+
+class TestDiscrimination:
+    def test_dropping_a_view_changes_the_fingerprint(self, calendar_policy):
+        reduced = _policy([v for v in calendar_policy.views if v.name != "V2"])
+        assert reduced.fingerprint() != calendar_policy.fingerprint()
+
+    def test_changing_a_constant_changes_the_fingerprint(self):
+        one = _policy([View("V", "SELECT Title FROM Events WHERE EId = 1", SCHEMA)])
+        two = _policy([View("V", "SELECT Title FROM Events WHERE EId = 2", SCHEMA)])
+        assert one.fingerprint() != two.fingerprint()
+
+    def test_changing_a_parameter_changes_the_fingerprint(self):
+        mine = _policy(
+            [View("V", "SELECT EId FROM Attendance WHERE UId = ?MyUId", SCHEMA)]
+        )
+        other = _policy(
+            [View("V", "SELECT EId FROM Attendance WHERE UId = ?OtherUId", SCHEMA)]
+        )
+        assert mine.fingerprint() != other.fingerprint()
+
+    def test_projection_changes_the_fingerprint(self):
+        narrow = _policy(
+            [View("V", "SELECT EId FROM Attendance WHERE UId = ?MyUId", SCHEMA)]
+        )
+        wide = _policy(
+            [View("V", "SELECT EId, UId FROM Attendance WHERE UId = ?MyUId", SCHEMA)]
+        )
+        assert narrow.fingerprint() != wide.fingerprint()

@@ -1,10 +1,13 @@
 """Policy text-format round-trip tests."""
 
+import hypothesis.strategies as st
 import pytest
+from hypothesis import given, settings
 
 from repro.policy import Policy, View, policy_from_text, policy_to_text
 from repro.policy.compare import views_equivalent
 from repro.util.errors import PolicyError
+from repro.workloads import calendar_app
 
 
 class TestRoundTrip:
@@ -47,3 +50,110 @@ class TestErrors:
     def test_header_without_name_rejected(self, calendar_schema):
         with pytest.raises(PolicyError):
             policy_from_text("view \n  SELECT 1 FROM Events", calendar_schema)
+
+
+class TestErrorLineNumbers:
+    """Parse errors are ops-facing (hot reload): they must point at a line."""
+
+    def test_sql_outside_view_cites_line_and_text(self, calendar_schema):
+        with pytest.raises(PolicyError, match=r"line 3: SQL outside of a view block"):
+            policy_from_text(
+                "# comment\n\nSELECT 1 FROM Events", calendar_schema
+            )
+
+    def test_view_without_sql_cites_header_line(self, calendar_schema):
+        with pytest.raises(PolicyError, match=r"line 2: view 'V1' has no SQL"):
+            policy_from_text(
+                "# heading\nview V1\nview V2\n  SELECT EId FROM Attendance"
+                " WHERE UId = ?MyUId",
+                calendar_schema,
+            )
+
+    def test_trailing_view_without_sql_cites_its_line(self, calendar_schema):
+        with pytest.raises(PolicyError, match=r"line 3: view 'V9' has no SQL"):
+            policy_from_text(
+                "view V1\n  SELECT EId FROM Attendance WHERE UId = ?MyUId\nview V9\n",
+                calendar_schema,
+            )
+
+    def test_nameless_header_cites_line(self, calendar_schema):
+        with pytest.raises(PolicyError, match=r"line 4: view header without a name"):
+            policy_from_text(
+                "view V1\n  SELECT EId FROM Attendance WHERE UId = ?MyUId\n\n"
+                "view -- description but no name\n",
+                calendar_schema,
+            )
+
+    def test_duplicate_view_name_cites_both_lines(self, calendar_schema):
+        with pytest.raises(
+            PolicyError,
+            match=r"line 3: duplicate view name 'V1' \(first defined on line 1\)",
+        ):
+            policy_from_text(
+                "view V1\n  SELECT EId FROM Attendance WHERE UId = ?MyUId\n"
+                "view V1\n  SELECT EId FROM Attendance WHERE UId = ?MyUId\n",
+                calendar_schema,
+            )
+
+    def test_untranslatable_sql_cites_header_line(self, calendar_schema):
+        with pytest.raises(PolicyError, match=r"line 2: view 'Bad'"):
+            policy_from_text(
+                "# p\nview Bad\n  SELECT Nope FROM NoSuchTable\n", calendar_schema
+            )
+
+
+# -- the serialization round-trip property -----------------------------------------
+
+_CAL_SCHEMA = calendar_app.make_schema()
+_CAL_SQLS = [view.sql for view in calendar_app.ground_truth_policy()]
+
+_NAME_ALPHABET = "abcdefghXYZ0123456789_"
+_DESC_ALPHABET = "abc XYZ0123 .,:-()?"
+
+
+@st.composite
+def _serialized_policies(draw) -> tuple[Policy, str]:
+    """A random policy over workload views, rendered with random noise.
+
+    Randomizes view names, descriptions, definition order, interleaved
+    comment/blank lines, and leading/trailing whitespace — everything
+    the text format is supposed to be insensitive to.
+    """
+    order = draw(st.permutations(list(range(len(_CAL_SQLS)))))
+    count = draw(st.integers(min_value=1, max_value=len(_CAL_SQLS)))
+    views = []
+    for position, sql_index in enumerate(order[:count]):
+        suffix = draw(st.text(alphabet=_NAME_ALPHABET, max_size=6))
+        name = f"W{position}_{suffix}"
+        description = draw(st.text(alphabet=_DESC_ALPHABET, max_size=24))
+        while "--" in description:
+            description = description.replace("--", "-")
+        views.append(View(name, _CAL_SQLS[sql_index], _CAL_SCHEMA, description.strip()))
+    policy = Policy(views, name="generated")
+
+    noise = st.one_of(
+        st.just(""),
+        st.text(alphabet=" \t", max_size=3).map(lambda s: s),
+        st.text(alphabet=_DESC_ALPHABET, max_size=12).map(lambda s: f"# {s}"),
+    )
+    lines: list[str] = []
+    for line in policy_to_text(policy).splitlines():
+        if draw(st.booleans()):
+            lines.append(draw(noise))
+        indent = draw(st.text(alphabet=" \t", max_size=4))
+        trailer = draw(st.text(alphabet=" \t", max_size=4))
+        lines.append(f"{indent}{line}{trailer}")
+    if draw(st.booleans()):
+        lines.append(draw(noise))
+    return policy, "\n".join(lines)
+
+
+class TestRoundTripProperty:
+    @given(_serialized_policies())
+    @settings(max_examples=60, deadline=None)
+    def test_parse_of_rendered_policy_is_equivalent(self, case):
+        policy, noisy_text = case
+        restored = policy_from_text(noisy_text, _CAL_SCHEMA, name="restored")
+        assert len(restored) == len(policy)
+        for view in policy:
+            assert views_equivalent(view, restored.view(view.name))

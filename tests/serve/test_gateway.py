@@ -148,9 +148,9 @@ class TestWritesThroughGateway:
         )
         connection = gateway.connect(1)
         connection.query("SELECT EId FROM Attendance WHERE UId = 1")
-        assert connection.config.cache.size == 1
+        assert connection.cache.size == 1
         gateway.connect(2).sql("DELETE FROM Attendance WHERE UId = 2")
-        assert connection.config.cache.size == 0
+        assert connection.cache.size == 0
 
 
 class TestDriver:

@@ -139,6 +139,37 @@ class TestDiagnose:
         assert "counterexample" in out
 
 
+class TestPolicyDiff:
+    def test_identical_policies_are_exact(self, tmp_path, capsys):
+        from repro.policy import policy_to_text
+
+        policy_file = tmp_path / "policy.txt"
+        policy_file.write_text(policy_to_text(calendar_app.ground_truth_policy()))
+        code = main(
+            ["policy-diff", "--app", "calendar", str(policy_file), "ground-truth"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "precision=1.000 recall=1.000 exact=True" in out
+        assert "V2: covered" in out
+
+    def test_lost_view_fails_with_nonzero_exit(self, tmp_path, capsys):
+        from repro.policy import policy_to_text
+        from repro.policy.policy import Policy
+
+        truth = calendar_app.ground_truth_policy()
+        reduced = Policy([v for v in truth.views if v.name != "V2"], name="minus-V2")
+        policy_file = tmp_path / "reduced.txt"
+        policy_file.write_text(policy_to_text(reduced))
+        code = main(
+            ["policy-diff", "--app", "calendar", str(policy_file), "ground-truth"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "recall=0.750" in out
+        assert "V2: NOT covered" in out
+
+
 class TestParser:
     def test_unknown_app_rejected(self):
         with pytest.raises(SystemExit):
