@@ -57,8 +57,16 @@ def rng():
     return random.Random(2026)
 
 
-def fresh_app(name: str, size: int | None = None, seed: int = 3):
+def fresh_app(
+    name: str,
+    size: int | None = None,
+    seed: int = 3,
+    backend: str | None = None,
+    db_path: str | None = None,
+):
     module = ALL_APPS[name]
     app = module.make_app()
-    db = app.make_database(size or app.default_size, seed)
+    db = app.make_database(
+        size or app.default_size, seed, backend=backend, db_path=db_path
+    )
     return app, db

@@ -30,6 +30,8 @@ from repro.engine import (
     Result,
     Schema,
     TableSchema,
+    available_backends,
+    open_database,
 )
 from repro.enforce import (
     ComplianceChecker,
@@ -38,6 +40,7 @@ from repro.enforce import (
     DirectConnection,
     EnforcementProxy,
     PolicyViolation,
+    ProxyConfig,
     RowLevelSecurityProxy,
     Session,
     Trace,
@@ -60,6 +63,7 @@ __all__ = [
     "ForeignKey",
     "Policy",
     "PolicyViolation",
+    "ProxyConfig",
     "Result",
     "RowLevelSecurityProxy",
     "Schema",
@@ -67,7 +71,9 @@ __all__ = [
     "TableSchema",
     "Trace",
     "View",
+    "available_backends",
     "compare_policies",
+    "open_database",
     "policy_from_text",
     "policy_to_text",
     "__version__",

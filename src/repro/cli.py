@@ -47,10 +47,17 @@ def _apps():
     }
 
 
-def _load_app(name: str, size: int | None, seed: int):
-    module = _apps()[name]
+def _load_app(args: argparse.Namespace, name: str | None = None):
+    """Build (app, db) from parsed common flags (--app/--size/--seed,
+    --backend/--db-path)."""
+    module = _apps()[name or args.app]
     app = module.make_app()
-    db = app.make_database(size or app.default_size, seed)
+    db = app.make_database(
+        args.size or app.default_size,
+        args.seed,
+        backend=args.backend,
+        db_path=args.db_path,
+    )
     return app, db
 
 
@@ -73,7 +80,7 @@ def _hospital_constraints() -> list[TGD]:
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
-    app, db = _load_app("calendar", args.size, args.seed)
+    app, db = _load_app(args, "calendar")
     if db.query("SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2").is_empty():
         db.sql("INSERT INTO Attendance VALUES (1, 2)")
     policy = app.ground_truth_policy()
@@ -94,7 +101,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 
 def cmd_extract(args: argparse.Namespace) -> int:
-    app, db = _load_app(args.app, args.size, args.seed)
+    app, db = _load_app(args)
     if args.method == "symbolic":
         from repro.extract.symbolic import SymbolicExtractor
 
@@ -124,7 +131,7 @@ def cmd_extract(args: argparse.Namespace) -> int:
 
 
 def cmd_enforce(args: argparse.Namespace) -> int:
-    app, db = _load_app(args.app, args.size, args.seed)
+    app, db = _load_app(args)
     policy = app.ground_truth_policy()
     proxy = EnforcementProxy(
         db, policy, Session.for_user(args.user), ProxyConfig(record_decisions=True)
@@ -148,7 +155,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
     from repro.evaluate.nqi import check_nqi
     from repro.evaluate.pqi import check_pqi
 
-    app, db = _load_app(args.app, args.size, args.seed)
+    app, db = _load_app(args)
     policy = app.ground_truth_policy()
     bindings = {"MyUId": args.user} if "MyUId" in policy.param_names() else {}
     views = policy.view_defs(bindings)
@@ -172,7 +179,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.policy import lint_policy, policy_from_text
 
-    app, db = _load_app(args.app, args.size, args.seed)
+    app, db = _load_app(args)
     if args.policy_file:
         with open(args.policy_file, encoding="utf-8") as handle:
             policy = policy_from_text(handle.read(), db.schema)
@@ -191,7 +198,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.serve import EnforcementGateway, GatewayConfig, WorkloadDriver
 
-    app, db = _load_app(args.app, args.size, args.seed)
+    app, db = _load_app(args)
     policy = app.ground_truth_policy()
     gateway = EnforcementGateway(
         db,
@@ -200,6 +207,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             cache_mode=args.cache,
             verify_cached_decisions=args.verify,
             check_workers=args.check_workers,
+            backend=args.backend,
+            db_path=args.db_path,
         ),
     )
     driver = WorkloadDriver(
@@ -211,7 +220,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     finally:
         gateway.close()
     print(
-        f"app={app.name} cache={args.cache} requests={report.requests}"
+        f"app={app.name} backend={db.backend_name} cache={args.cache}"
+        f" requests={report.requests}"
         f" sessions={report.sessions} workers={report.workers}"
     )
     print(
@@ -242,14 +252,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.policy import policy_from_text
     from repro.serve import EnforcementGateway, GatewayConfig
 
-    app, db = _load_app(args.app, args.size, args.seed)
+    app, db = _load_app(args)
     if args.policy_file:
         with open(args.policy_file, encoding="utf-8") as handle:
             policy = policy_from_text(handle.read(), db.schema)
     else:
         policy = app.ground_truth_policy()
     gateway = EnforcementGateway(
-        db, policy, GatewayConfig(cache_mode=args.cache, check_workers=args.check_workers)
+        db,
+        policy,
+        GatewayConfig(
+            cache_mode=args.cache,
+            check_workers=args.check_workers,
+            backend=args.backend,
+            db_path=args.db_path,
+        ),
     )
     lifecycle = LifecycleManager(gateway, shadow_workers=args.shadow_workers)
     config = ServerConfig(
@@ -266,7 +283,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     async def run() -> None:
         await server.start()
         print(
-            f"repro serve: app={app.name} policy={policy.name}"
+            f"repro serve: app={app.name} backend={db.backend.describe()}"
+            f" policy={policy.name}"
             f" v{gateway.policy_version}"
             f" (fingerprint {policy.fingerprint()})"
             f" cache={args.cache} listening on {config.host}:{server.port}"
@@ -312,7 +330,7 @@ def cmd_policy_diff(args: argparse.Namespace) -> int:
     """Operator-facing view of the promotion compare gate."""
     from repro.lifecycle.promote import subsumption_matrix
 
-    app, db = _load_app(args.app, args.size, args.seed)
+    app, db = _load_app(args)
     candidate = _read_policy_arg(args.candidate, app, db)
     truth = _read_policy_arg(args.truth, app, db)
     comparison = compare_policies(candidate, truth)
@@ -449,7 +467,7 @@ def cmd_policy_status(args: argparse.Namespace) -> int:
 def cmd_diagnose(args: argparse.Namespace) -> int:
     from repro.diagnose import diagnose
 
-    app, db = _load_app(args.app, args.size, args.seed)
+    app, db = _load_app(args)
     policy = app.ground_truth_policy()
     bindings = {"MyUId": args.user}
     stmt = bind_parameters(parse_select(args.sql))
@@ -487,6 +505,19 @@ def build_parser() -> argparse.ArgumentParser:
             )
         p.add_argument("--size", type=int, default=None, help="database scale")
         p.add_argument("--seed", type=int, default=7, help="data/workload seed")
+        from repro.engine import available_backends
+
+        p.add_argument(
+            "--backend",
+            choices=available_backends(),
+            default=None,
+            help="storage backend (default: $REPRO_BACKEND or memory)",
+        )
+        p.add_argument(
+            "--db-path",
+            default=None,
+            help="database file for path-capable backends (sqlite)",
+        )
 
     demo = sub.add_parser("demo", help="run Example 2.1 end to end")
     common(demo, app_required=False)

@@ -95,11 +95,15 @@ class EnforcementProxy:
     :class:`~repro.engine.database.Database`, so application handlers run
     unmodified against either.
 
-    Configuration lives in :class:`ProxyConfig`. The individual keyword
-    arguments ``history_enabled``, ``cache``, and ``record_decisions``
-    are deprecated — still honored (they override the corresponding
-    ``config`` field) but new code should pass ``config=ProxyConfig(...)``.
+    Configuration lives in :class:`ProxyConfig`. The pre-ProxyConfig
+    keyword arguments ``history_enabled``, ``cache``, and
+    ``record_decisions`` went through a deprecation cycle and are now a
+    hard error; pass ``config=ProxyConfig(...)``.
     """
+
+    #: Removed constructor kwargs -> the ProxyConfig field that replaced
+    #: them (kept for the migration-hint error message).
+    _REMOVED_KWARGS = ("history_enabled", "cache", "record_decisions")
 
     def __init__(
         self,
@@ -107,30 +111,20 @@ class EnforcementProxy:
         policy: Policy,
         session: Session,
         config: ProxyConfig | None = None,
-        *,
-        history_enabled: bool | None = None,
-        cache: DecisionCache | None = None,
-        record_decisions: bool | None = None,
+        **legacy: object,
     ):
-        base = config or ProxyConfig()
-        overrides = {}
-        if history_enabled is not None:
-            overrides["history_enabled"] = history_enabled
-        if cache is not None:
-            overrides["cache"] = cache
-        if record_decisions is not None:
-            overrides["record_decisions"] = record_decisions
-        if overrides:
-            import warnings
-            from dataclasses import replace
-
-            warnings.warn(
-                f"EnforcementProxy keyword(s) {sorted(overrides)} are deprecated;"
-                " pass config=ProxyConfig(...) instead",
-                DeprecationWarning,
-                stacklevel=2,
+        if legacy:
+            removed = sorted(set(legacy) & set(self._REMOVED_KWARGS))
+            if removed:
+                fields = ", ".join(f"{name}=..." for name in removed)
+                raise TypeError(
+                    f"EnforcementProxy no longer accepts keyword(s) {removed};"
+                    f" pass config=ProxyConfig({fields}) instead"
+                )
+            raise TypeError(
+                f"EnforcementProxy got unexpected keyword(s) {sorted(legacy)}"
             )
-            base = replace(base, **overrides)
+        base = config or ProxyConfig()
         self.config = base
         self.db = db
         self.policy = policy

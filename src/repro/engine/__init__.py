@@ -1,17 +1,29 @@
-"""In-memory relational engine.
+"""Relational engine: parse/bind front end over pluggable storage backends.
 
-A small but real database: typed schemas with primary/foreign keys,
-secondary hash indexes, a SQL executor for the full dialect (including
-features outside the reasoning fragment, like COUNT and LEFT JOIN), and
-snapshot/restore support used by the active-learning extraction loop.
+A small but real database stack: typed schemas with primary/foreign
+keys, a SQL dialect parser, and a :class:`Database` facade that parses
+and binds statements, then executes them on an
+:class:`~repro.engine.backend.EngineBackend` — the in-memory engine
+(hash-indexed Python dicts, the default) or stdlib SQLite (durable,
+scales to millions of rows). Backends are chosen by name through
+:func:`~repro.engine.backend.open_database`; see ``docs/backends.md``.
 
 The engine plays the role of the production DBMS in the Blockaid setting:
 the enforcement proxy (``repro.enforce``) wraps a :class:`Database` and
-intercepts queries before execution.
+intercepts queries before execution — enforcement never depends on which
+backend is underneath.
 """
 
 from repro.engine.types import ColumnType
 from repro.engine.schema import Column, ForeignKey, Schema, TableSchema
+from repro.engine.backend import (
+    EngineBackend,
+    MemoryBackend,
+    SqliteBackend,
+    available_backends,
+    open_database,
+    register_backend,
+)
 from repro.engine.connection import Connection
 from repro.engine.database import Database
 from repro.engine.executor import Result
@@ -21,8 +33,14 @@ __all__ = [
     "ColumnType",
     "Connection",
     "Database",
+    "EngineBackend",
     "ForeignKey",
+    "MemoryBackend",
     "Result",
     "Schema",
+    "SqliteBackend",
     "TableSchema",
+    "available_backends",
+    "open_database",
+    "register_backend",
 ]

@@ -1,0 +1,29 @@
+"""Pluggable storage backends behind :class:`~repro.engine.database.Database`.
+
+See ``docs/backends.md`` for the interface contract, the registry, and
+how to add a backend.
+"""
+
+from repro.engine.backend.base import EngineBackend
+from repro.engine.backend.memory import MemoryBackend
+from repro.engine.backend.registry import (
+    BACKEND_ENV_VAR,
+    available_backends,
+    create_backend,
+    default_backend_name,
+    open_database,
+    register_backend,
+)
+from repro.engine.backend.sqlite import SqliteBackend
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "EngineBackend",
+    "MemoryBackend",
+    "SqliteBackend",
+    "available_backends",
+    "create_backend",
+    "default_backend_name",
+    "open_database",
+    "register_backend",
+]

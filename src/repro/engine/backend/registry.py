@@ -1,0 +1,94 @@
+"""Backend registry + the ``open_database()`` factory.
+
+The registry maps short names (``"memory"``, ``"sqlite"``) to backend
+factories so backend selection can travel as plain data — a CLI flag, a
+``GatewayConfig`` field, an environment variable — all the way down to
+storage without any call site importing a concrete backend class.
+Third-party backends join by calling :func:`register_backend` at import
+time (the docling plugin-registry shape).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+
+from repro.engine.backend.base import EngineBackend
+from repro.engine.schema import Schema
+from repro.util.errors import EngineError
+
+#: Factory signature: ``(schema, **options) -> EngineBackend``. Options
+#: a backend does not understand must be rejected, not ignored.
+BackendFactory = Callable[..., EngineBackend]
+
+_REGISTRY: dict[str, BackendFactory] = {}
+
+#: Environment override honored by :func:`default_backend_name` (and so
+#: by ``open_database`` when no explicit backend is given). CI uses this
+#: to run the whole tier-1 suite against SQLite.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+def register_backend(
+    name: str, factory: BackendFactory, *, replace: bool = False
+) -> None:
+    """Register ``factory`` under ``name``; refuses silent shadowing."""
+    if name in _REGISTRY and not replace:
+        raise EngineError(f"backend {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def create_backend(name: str, schema: Schema, **options: object) -> EngineBackend:
+    """Instantiate the backend registered under ``name``."""
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise EngineError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        )
+    return factory(schema, **options)
+
+
+def default_backend_name() -> str:
+    """The backend ``open_database`` uses when none is requested:
+    ``$REPRO_BACKEND`` if set, else ``"memory"``."""
+    return os.environ.get(BACKEND_ENV_VAR, "memory")
+
+
+def open_database(
+    schema: Schema | None = None,
+    backend: str | None = None,
+    *,
+    path: str | None = None,
+):
+    """Open a :class:`~repro.engine.database.Database` on a named backend.
+
+    This is the one construction path application code, workloads, the
+    CLI, and benchmarks share. ``backend=None`` defers to
+    :func:`default_backend_name`, which is how the ``REPRO_BACKEND=sqlite``
+    CI leg reroutes every workload database without touching call sites.
+    """
+    from repro.engine.database import Database
+
+    return Database(schema, backend or default_backend_name(), path=path)
+
+
+def _make_memory(schema: Schema, path: str | None = None) -> EngineBackend:
+    from repro.engine.backend.memory import MemoryBackend
+
+    if path is not None:
+        raise EngineError("the memory backend does not take a path")
+    return MemoryBackend(schema)
+
+
+def _make_sqlite(schema: Schema, path: str | None = None) -> EngineBackend:
+    from repro.engine.backend.sqlite import SqliteBackend
+
+    return SqliteBackend(schema, path=path)
+
+
+register_backend("memory", _make_memory)
+register_backend("sqlite", _make_sqlite)

@@ -1,10 +1,19 @@
-"""The Database object: schema + tables + the user-facing ``sql()`` API."""
+"""The Database object: parse/bind front end over a pluggable backend.
+
+``Database`` owns everything backend-*independent* — SQL parsing (with a
+shared statement cache), parameter binding, CREATE TABLE schema
+evolution — and delegates storage and execution to an
+:class:`~repro.engine.backend.EngineBackend`. The enforcement stack
+layers over ``sql()`` regardless of which backend is underneath; see
+``docs/backends.md``.
+"""
 
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-from repro.engine.executor import Result, execute
+from repro.engine.backend.base import EngineBackend
+from repro.engine.executor import Result
 from repro.engine.schema import Schema, TableSchema
 from repro.engine.table import Table
 from repro.sqlir import ast
@@ -14,33 +23,75 @@ from repro.util.errors import EngineError
 
 
 class Database:
-    """An in-memory database instance.
+    """A database instance: one schema, one storage backend.
 
     ``sql()`` is the application-facing entry point: it parses (with a
-    small statement cache), binds parameters, and executes. The
-    enforcement proxy exposes the same signature, so application code is
-    written once and runs with or without access control.
+    small statement cache), binds parameters, and executes on the
+    backend. The enforcement proxy exposes the same signature, so
+    application code is written once and runs with or without access
+    control.
+
+    ``backend`` may be an :class:`~repro.engine.backend.EngineBackend`
+    instance (adopted as-is; its schema wins if ``schema`` is None), a
+    registry name like ``"sqlite"`` (constructed via
+    :func:`~repro.engine.backend.create_backend`, with ``path`` passed
+    through), or None for the in-memory default. Prefer
+    :func:`~repro.engine.backend.open_database` at call sites — it also
+    honors the ``REPRO_BACKEND`` environment override; the bare
+    constructor deliberately does not, so engine tests pin the backend
+    they mean.
     """
 
-    def __init__(self, schema: Schema | None = None):
-        self.schema = schema or Schema()
-        self._tables: dict[str, Table] = {
-            name: Table(table_schema)
-            for name, table_schema in self.schema.tables.items()
-        }
+    def __init__(
+        self,
+        schema: Schema | None = None,
+        backend: EngineBackend | str | None = None,
+        *,
+        path: str | None = None,
+    ):
+        if isinstance(backend, EngineBackend):
+            if schema is not None and backend.schema is not schema:
+                raise EngineError(
+                    "backend was built for a different schema; pass schema=None"
+                )
+            self.schema = backend.schema
+            self._backend = backend
+        else:
+            self.schema = schema or Schema()
+            if backend is None:
+                from repro.engine.backend.memory import MemoryBackend
+
+                if path is not None:
+                    raise EngineError(
+                        "path= requires a path-capable backend (e.g. 'sqlite')"
+                    )
+                self._backend = MemoryBackend(self.schema)
+            else:
+                from repro.engine.backend.registry import create_backend
+
+                self._backend = create_backend(backend, self.schema, path=path)
         self._statement_cache: dict[str, ast.Statement] = {}
         self._closed = False
+
+    # -- backend identity --------------------------------------------------------
+
+    @property
+    def backend(self) -> EngineBackend:
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
 
     # -- schema management -----------------------------------------------------
 
     def create_table(self, table_schema: TableSchema) -> None:
         self.schema.add(table_schema)
-        self._tables[table_schema.name] = Table(table_schema)
+        self._backend.create_table(table_schema)
 
     def table(self, name: str) -> Table:
-        if name not in self._tables:
-            raise EngineError(f"unknown table {name!r}")
-        return self._tables[name]
+        """Direct row-storage access (memory backend only)."""
+        return self._backend.table(name)
 
     # -- data access -------------------------------------------------------------
 
@@ -58,7 +109,7 @@ class Database:
             self.create_table(Schema.from_create_statements([stmt]).table(stmt.name))
             return 0
         bound = bind_parameters(stmt, args, named)
-        return execute(self, bound)
+        return self._backend.execute(bound)
 
     def query(
         self,
@@ -92,43 +143,38 @@ class Database:
     _parse = parse
 
     def close(self) -> None:
-        """Connection-protocol close: refuse further statements. Idempotent.
+        """Connection-protocol close: refuse further statements and release
+        backend resources. Idempotent.
 
-        The in-memory engine holds no OS handles, but the ``Connection``
-        contract (one all implementations share, tested in
-        ``tests/engine/test_connection_contract.py``) is that a closed
-        connection refuses further statements rather than limping on.
+        The ``Connection`` contract (one all implementations share,
+        tested in ``tests/engine/test_connection_contract.py``) is that
+        a closed connection refuses further statements rather than
+        limping on.
         """
         self._closed = True
+        self._backend.close()
 
     def insert_rows(self, table: str, rows: Sequence[Sequence[object]]) -> int:
         """Bulk insert rows (schema column order) bypassing SQL parsing."""
-        target = self.table(table)
-        from repro.engine.executor import _check_foreign_keys
-
-        for row in rows:
-            _check_foreign_keys(self, target.schema, list(row))
-            target.insert(list(row))
-        return len(rows)
+        return self._backend.insert_rows(table, rows)
 
     # -- snapshots (used by active-learning extraction) ---------------------------
 
-    def snapshot(self) -> dict[str, dict]:
-        """Capture all table contents; restore with :meth:`restore`."""
-        return {name: table.snapshot() for name, table in self._tables.items()}
+    def snapshot(self) -> object:
+        """Capture all table contents as an opaque token for :meth:`restore`."""
+        return self._backend.snapshot()
 
-    def restore(self, snapshot: dict[str, dict]) -> None:
-        for name, table_snapshot in snapshot.items():
-            self._tables[name].restore(table_snapshot)
+    def restore(self, snapshot: object) -> None:
+        self._backend.restore(snapshot)
 
     # -- introspection --------------------------------------------------------------
 
     def row_count(self, table: str) -> int:
-        return len(self.table(table))
+        return self._backend.row_count(table)
 
     def total_rows(self) -> int:
-        return sum(len(t) for t in self._tables.values())
+        return self._backend.total_rows()
 
     def relation_contents(self) -> dict[str, set[tuple]]:
         """All rows per relation, as sets — the shape the evaluators use."""
-        return {name: set(table.rows()) for name, table in self._tables.items()}
+        return self._backend.relation_contents()

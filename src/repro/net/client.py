@@ -69,6 +69,9 @@ class NetClientConnection:
             )
             if reply["type"] != protocol.WELCOME:
                 raise self._to_error(reply)
+            #: Backend identity the server reported in WELCOME (absent on
+            #: pre-backend servers).
+            self.server_backend = reply.get("backend")
         except BaseException:
             self._sock.close()
             self._closed = True

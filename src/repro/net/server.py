@@ -362,6 +362,9 @@ class NetServer:
             "type": protocol.WELCOME,
             "version": protocol.PROTOCOL_VERSION,
             "session": dict(bindings),
+            # Additive field (older clients ignore it): which storage
+            # backend this deployment fronts.
+            "backend": self.gateway.db.backend.describe(),
         }
         return _Authenticated(connection=connection, key=key, welcome=welcome)
 
@@ -377,6 +380,7 @@ class NetServer:
                 "stages": gateway_snapshot.stages,
             },
             "cache_hit_rate": self.gateway.cache_hit_rate(),
+            "backend": self.gateway.db.backend.describe(),
         }
         if self.lifecycle is not None:
             reply["policy"] = self.lifecycle.status()

@@ -78,6 +78,14 @@ class GatewayConfig:
     processes; 0 (the default) keeps checking in-process. Pool failures
     fall back to in-process checking transparently (counted as
     ``pool_fallbacks`` in the metrics).
+
+    ``backend`` / ``db_path`` are *declarative*: they record which
+    storage backend this deployment expects (and, for path-capable
+    backends, where its file lives) so deployment configs can travel as
+    one object. The gateway does not construct the database — the owner
+    does, via :func:`repro.engine.open_database` — but it validates at
+    startup that the database it was handed matches the declared
+    backend, failing fast on a misconfigured deployment.
     """
 
     history_enabled: bool = True
@@ -87,12 +95,16 @@ class GatewayConfig:
     decision_log_cap: int = 256
     check_workers: int = 0
     check_timeout_s: float = 60.0
+    backend: str | None = None
+    db_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.cache_mode not in ("shared", "per-session", "none"):
             raise ValueError(f"unknown cache_mode {self.cache_mode!r}")
         if self.check_workers < 0:
             raise ValueError("check_workers must be >= 0")
+        if self.db_path is not None and self.backend is None:
+            raise ValueError("db_path requires an explicit backend")
 
 
 class PolicyEpoch:
@@ -365,6 +377,14 @@ class EnforcementGateway:
     ):
         self.db = db
         self.config = config or GatewayConfig()
+        if (
+            self.config.backend is not None
+            and self.config.backend != db.backend_name
+        ):
+            raise ValueError(
+                f"gateway configured for backend {self.config.backend!r}"
+                f" but the database runs {db.backend_name!r}"
+            )
         self.metrics = GatewayMetrics()
         self._epoch = PolicyEpoch(db, policy, self.config)
         self._connections: dict[tuple, GatewayConnection] = {}

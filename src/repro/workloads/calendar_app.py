@@ -9,7 +9,15 @@ from __future__ import annotations
 
 import random
 
-from repro.engine import Column, ColumnType, Database, ForeignKey, Schema, TableSchema
+from repro.engine import (
+    Column,
+    ColumnType,
+    Database,
+    ForeignKey,
+    Schema,
+    TableSchema,
+    open_database,
+)
 from repro.extract.handlers import (
     Abort,
     Assign,
@@ -63,10 +71,18 @@ def make_schema() -> Schema:
     )
 
 
-def make_database(size: int = 20, seed: int = 7) -> Database:
+def make_database(
+    size: int = 20,
+    seed: int = 7,
+    *,
+    backend: str | None = None,
+    db_path: str | None = None,
+) -> Database:
     """``size`` users, ``2*size`` events, ~3 attendances per user."""
     rng = rng_of(seed)
-    db = Database(make_schema())
+    db = open_database(make_schema(), backend=backend, path=db_path)
+    if db.total_rows():  # a reopened durable file keeps its existing data
+        return db
     users = [(uid, pick_name(rng, uid - 1)) for uid in range(1, size + 1)]
     db.insert_rows("Users", users)
     events = [

@@ -17,7 +17,14 @@ from __future__ import annotations
 
 import random
 
-from repro.engine import Column, ColumnType, Database, Schema, TableSchema
+from repro.engine import (
+    Column,
+    ColumnType,
+    Database,
+    Schema,
+    TableSchema,
+    open_database,
+)
 from repro.extract.handlers import (
     Abort,
     Assign,
@@ -54,9 +61,17 @@ def make_schema() -> Schema:
     )
 
 
-def make_database(size: int = 40, seed: int = 13) -> Database:
+def make_database(
+    size: int = 40,
+    seed: int = 13,
+    *,
+    backend: str | None = None,
+    db_path: str | None = None,
+) -> Database:
     rng = rng_of(seed)
-    db = Database(make_schema())
+    db = open_database(make_schema(), backend=backend, path=db_path)
+    if db.total_rows():  # a reopened durable file keeps its existing data
+        return db
     rows = []
     for eid in range(1, size + 1):
         age = rng.randrange(18, 70)

@@ -13,7 +13,15 @@ from __future__ import annotations
 
 import random
 
-from repro.engine import Column, ColumnType, Database, ForeignKey, Schema, TableSchema
+from repro.engine import (
+    Column,
+    ColumnType,
+    Database,
+    ForeignKey,
+    Schema,
+    TableSchema,
+    open_database,
+)
 from repro.extract.handlers import (
     Abort,
     Assign,
@@ -77,14 +85,22 @@ def make_schema() -> Schema:
     )
 
 
-def make_database(size: int = 20, seed: int = 11) -> Database:
+def make_database(
+    size: int = 20,
+    seed: int = 11,
+    *,
+    backend: str | None = None,
+    db_path: str | None = None,
+) -> Database:
     """``size`` patients, ``max(2, size // 4)`` doctors.
 
     Doctor #1 treats exactly the two diseases of the paper's example, and
     patient #1 ("john") is assigned to them.
     """
     rng = rng_of(seed)
-    db = Database(make_schema())
+    db = open_database(make_schema(), backend=backend, path=db_path)
+    if db.total_rows():  # a reopened durable file keeps its existing data
+        return db
     n_doctors = max(2, size // 4)
     doctors = [(did, f"dr_{pick_name(rng, did - 1)}") for did in range(1, n_doctors + 1)]
     db.insert_rows("Doctors", doctors)

@@ -57,7 +57,10 @@ class WorkloadApp:
     """Everything the experiments need to know about one application."""
 
     name: str
-    make_database: Callable[[int, int], Database]
+    #: ``(size, seed, *, backend=None, db_path=None) -> Database``; backend
+    #: selection flows through keyword-only args so positional callers are
+    #: unaffected.
+    make_database: Callable[..., Database]
     handlers: dict[str, Handler]
     ground_truth_policy: Callable[[], Policy]
     request_stream: Callable[[Database, random.Random, int], list[Request]]

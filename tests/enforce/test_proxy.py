@@ -6,6 +6,7 @@ from repro.enforce import (
     DecisionCache,
     EnforcementProxy,
     PolicyViolation,
+    ProxyConfig,
     Session,
 )
 
@@ -82,7 +83,10 @@ class TestCacheIntegration:
         uid, eid = attending_pair(calendar_db)
         cache = DecisionCache(calendar_policy)
         proxy = EnforcementProxy(
-            calendar_db, calendar_policy, Session.for_user(uid), cache=cache
+            calendar_db,
+            calendar_policy,
+            Session.for_user(uid),
+            ProxyConfig(cache=cache),
         )
         proxy.query("SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", [uid, eid])
         proxy.query("SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", [uid, eid])
@@ -93,7 +97,10 @@ class TestCacheIntegration:
         pairs = calendar_db.query("SELECT UId, EId FROM Attendance").rows[:2]
         for uid, eid in pairs:
             proxy = EnforcementProxy(
-                calendar_db, calendar_policy, Session.for_user(uid), cache=cache
+                calendar_db,
+                calendar_policy,
+                Session.for_user(uid),
+                ProxyConfig(cache=cache),
             )
             proxy.query(
                 "SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", [uid, eid]

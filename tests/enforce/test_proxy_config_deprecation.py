@@ -1,10 +1,11 @@
-"""Legacy EnforcementProxy kwargs: deprecated but still honored.
+"""Legacy EnforcementProxy kwargs: the deprecation cycle is complete.
 
 The individual ``history_enabled`` / ``cache`` / ``record_decisions``
-constructor keywords predate :class:`ProxyConfig`. They must (a) emit a
-``DeprecationWarning`` naming the offending keyword and (b) override the
-matching field of whatever ``config`` was passed, so old call sites keep
-their exact behavior until they migrate.
+constructor keywords predate :class:`ProxyConfig`. PR 1 deprecated them
+(warn + honor); this cycle ends it: they are a hard ``TypeError`` whose
+message names the offending keyword(s) and shows the ``ProxyConfig``
+migration, so a stale call site fails loudly with instructions rather
+than silently changing behavior.
 """
 
 from __future__ import annotations
@@ -27,52 +28,59 @@ def make_proxy(calendar_db, calendar_policy):
     return factory
 
 
-class TestLegacyKwargsWarn:
-    def test_history_enabled_warns_and_overrides(self, make_proxy):
-        with pytest.warns(DeprecationWarning, match="history_enabled"):
-            proxy = make_proxy(ProxyConfig(history_enabled=True), history_enabled=False)
-        assert proxy.config.history_enabled is False
-        assert proxy.checker.history_enabled is False
+class TestLegacyKwargsAreHardErrors:
+    def test_history_enabled_raises_with_migration_hint(self, make_proxy):
+        with pytest.raises(TypeError, match=r"history_enabled"):
+            make_proxy(history_enabled=False)
+        with pytest.raises(TypeError, match=r"ProxyConfig\(history_enabled=\.\.\.\)"):
+            make_proxy(history_enabled=False)
 
-    def test_cache_warns_and_overrides(self, make_proxy, calendar_policy):
+    def test_cache_raises_with_migration_hint(self, make_proxy, calendar_policy):
         cache = DecisionCache(calendar_policy)
-        with pytest.warns(DeprecationWarning, match="cache"):
-            proxy = make_proxy(ProxyConfig(cache=None), cache=cache)
-        assert proxy.config.cache is cache
-        assert proxy.cache is cache  # deprecated accessor agrees
+        with pytest.raises(TypeError, match=r"ProxyConfig\(cache=\.\.\.\)"):
+            make_proxy(cache=cache)
 
-    def test_record_decisions_warns_and_overrides(self, make_proxy):
-        with pytest.warns(DeprecationWarning, match="record_decisions"):
-            proxy = make_proxy(ProxyConfig(record_decisions=False), record_decisions=True)
-        assert proxy.config.record_decisions is True
+    def test_record_decisions_raises_with_migration_hint(self, make_proxy):
+        with pytest.raises(TypeError, match=r"ProxyConfig\(record_decisions=\.\.\.\)"):
+            make_proxy(record_decisions=True)
 
-    def test_multiple_kwargs_warn_once_naming_all(self, make_proxy):
-        with pytest.warns(DeprecationWarning) as captured:
+    def test_multiple_kwargs_named_together(self, make_proxy):
+        with pytest.raises(TypeError) as excinfo:
             make_proxy(history_enabled=False, record_decisions=True)
-        messages = [str(w.message) for w in captured]
-        assert len(messages) == 1
-        assert "history_enabled" in messages[0]
-        assert "record_decisions" in messages[0]
+        message = str(excinfo.value)
+        assert "history_enabled" in message
+        assert "record_decisions" in message
 
-    def test_other_config_fields_survive_an_override(self, make_proxy):
-        with pytest.warns(DeprecationWarning):
+    def test_legacy_kwarg_rejected_even_alongside_config(self, make_proxy):
+        with pytest.raises(TypeError, match="record_decisions"):
+            make_proxy(ProxyConfig(history_enabled=False), record_decisions=True)
+
+    def test_unknown_kwargs_still_rejected(self, make_proxy):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            make_proxy(frobnicate=True)
+
+
+class TestModernPath:
+    def test_config_object_carries_all_fields(self, make_proxy):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
             proxy = make_proxy(
-                ProxyConfig(history_enabled=False, decision_log_cap=7),
-                record_decisions=True,
+                ProxyConfig(
+                    history_enabled=False, record_decisions=True, decision_log_cap=7
+                )
             )
         assert proxy.config.history_enabled is False
+        assert proxy.checker.history_enabled is False
+        assert proxy.config.record_decisions is True
         assert proxy.config.decision_log_cap == 7
-        assert proxy.config.record_decisions is True
 
-
-class TestModernPathIsQuiet:
-    def test_config_only_emits_no_warning(self, make_proxy):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            proxy = make_proxy(ProxyConfig(history_enabled=False, record_decisions=True))
-        assert proxy.config.record_decisions is True
+    def test_readonly_accessors_still_answer(self, make_proxy, calendar_policy):
+        cache = DecisionCache(calendar_policy)
+        proxy = make_proxy(ProxyConfig(cache=cache, record_decisions=True))
+        assert proxy.cache is cache
+        assert proxy.record_decisions is True
 
     def test_defaults_emit_no_warning(self, make_proxy):
         with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
+            warnings.simplefilter("error")
             make_proxy()

@@ -116,6 +116,11 @@ class TestGroupBy:
             assert count == expected
 
     def test_non_grouped_column_rejected(self, db):
+        # Strictness is a memory-engine semantic; SQLite legitimately
+        # permits bare columns in an aggregate query (it picks a witness
+        # row), so under REPRO_BACKEND=sqlite there is nothing to reject.
+        if db.backend_name != "memory":
+            pytest.skip("bare-column GROUP BY strictness is memory-engine-specific")
         with pytest.raises(EngineError):
             db.query("SELECT Name, COUNT(*) FROM Employees GROUP BY Dept")
 

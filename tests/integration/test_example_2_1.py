@@ -6,7 +6,7 @@ This is the reproduction's acceptance test: the exact query sequence of
 
 import pytest
 
-from repro.enforce import EnforcementProxy, PolicyViolation, Session
+from repro.enforce import EnforcementProxy, PolicyViolation, ProxyConfig, Session
 from repro.workloads import calendar_app
 
 
@@ -47,7 +47,7 @@ def test_q2_blocked_in_isolation(setup):
 def test_q2_blocked_when_history_disabled(setup):
     db, policy = setup
     proxy = EnforcementProxy(
-        db, policy, Session.for_user(1), history_enabled=False
+        db, policy, Session.for_user(1), ProxyConfig(history_enabled=False)
     )
     proxy.query("SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2")
     with pytest.raises(PolicyViolation):

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -130,6 +131,18 @@ class TestNoTornDecisions:
             thread.start()
         try:
             for version in range(2, 8):
+                # Let traffic land a few decisions under the current policy
+                # before swapping, so reloads genuinely interleave with
+                # decisions on any backend speed (sqlite queries are slower
+                # than the reload loop).
+                with audit_lock:
+                    seen = len(audits)
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    with audit_lock:
+                        if len(audits) >= seen + 4:
+                            break
+                    time.sleep(0.002)
                 policy = truth if version % 2 == 1 else without_v2
                 policies[version] = policy
                 hot_reload(gateway, policy, version=version)

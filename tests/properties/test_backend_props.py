@@ -1,0 +1,133 @@
+"""Property tests: MemoryBackend and SqliteBackend agree on every query.
+
+The decision layer is backend-independent by construction; this file
+pins the premise underneath it — both backends return the *same answer
+multisets* for generated SPJ statements over the same generated data, and
+stay in lockstep through DML. (Row order without ORDER BY is
+backend-defined, so comparisons sort first.)
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.engine import Column, ColumnType, Schema, TableSchema, open_database
+
+COLUMNS = ["a", "b"]
+
+
+def make_schema() -> Schema:
+    return Schema.of(
+        TableSchema(
+            "R",
+            (
+                Column("a", ColumnType.INT, nullable=False),
+                Column("b", ColumnType.INT, nullable=False),
+            ),
+        ),
+        TableSchema(
+            "S",
+            (
+                Column("b", ColumnType.INT, nullable=False),
+                Column("c", ColumnType.INT, nullable=False),
+            ),
+        ),
+    )
+
+
+def make_pair(rows_r, rows_s):
+    """The same data loaded into one memory and one sqlite database."""
+    databases = []
+    for backend in ("memory", "sqlite"):
+        db = open_database(make_schema(), backend=backend)
+        db.insert_rows("R", rows_r)
+        db.insert_rows("S", rows_s)
+        databases.append(db)
+    return databases
+
+
+def assert_agree(mem, sq, sql, args=()):
+    mem_result = mem.query(sql, args)
+    sq_result = sq.query(sql, args)
+    assert mem_result.columns == sq_result.columns
+    assert sorted(map(repr, mem_result.rows)) == sorted(map(repr, sq_result.rows)), sql
+
+
+values = st.integers(min_value=0, max_value=3)
+r_rows = st.lists(st.tuples(values, values), max_size=6, unique=True)
+s_rows = st.lists(st.tuples(values, values), max_size=6, unique=True)
+
+
+def predicates():
+    column = st.sampled_from(["R.a", "R.b"])
+    op = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+    value = st.integers(min_value=0, max_value=3)
+    simple = st.builds(lambda c, o, v: f"{c} {o} {v}", column, op, value)
+    return st.one_of(
+        simple,
+        st.builds(lambda p1, p2: f"{p1} AND {p2}", simple, simple),
+        st.builds(lambda p1, p2: f"{p1} OR {p2}", simple, simple),
+        st.builds(lambda p: f"NOT ({p})", simple),
+        st.builds(lambda v: f"R.a IN ({v}, {v + 1})", values),
+    )
+
+
+@given(r_rows, s_rows, predicates())
+@settings(max_examples=120, deadline=None)
+def test_backends_agree_on_filtered_select(rows_r, rows_s, predicate):
+    mem, sq = make_pair(rows_r, rows_s)
+    assert_agree(mem, sq, f"SELECT R.a, R.b FROM R WHERE {predicate}")
+
+
+@given(r_rows, s_rows, values)
+@settings(max_examples=80, deadline=None)
+def test_backends_agree_on_join(rows_r, rows_s, bound):
+    mem, sq = make_pair(rows_r, rows_s)
+    assert_agree(
+        mem, sq, f"SELECT R.a, S.c FROM R JOIN S ON R.b = S.b WHERE S.c >= {bound}"
+    )
+
+
+@given(r_rows, s_rows)
+@settings(max_examples=60, deadline=None)
+def test_backends_agree_on_distinct_and_aggregates(rows_r, rows_s):
+    mem, sq = make_pair(rows_r, rows_s)
+    assert_agree(mem, sq, "SELECT DISTINCT a FROM R")
+    assert_agree(mem, sq, "SELECT COUNT(*) FROM R")
+    assert_agree(mem, sq, "SELECT a, COUNT(*) AS n FROM R GROUP BY a ORDER BY a")
+    assert_agree(mem, sq, "SELECT SUM(b) FROM R")
+
+
+@given(r_rows, s_rows, predicates())
+@settings(max_examples=60, deadline=None)
+def test_backends_agree_on_exists_subquery(rows_r, rows_s, predicate):
+    mem, sq = make_pair(rows_r, rows_s)
+    assert_agree(
+        mem,
+        sq,
+        "SELECT R.a FROM R WHERE EXISTS"
+        f" (SELECT 1 FROM S WHERE S.b = R.b AND {predicate})",
+    )
+
+
+@given(r_rows, values, values)
+@settings(max_examples=80, deadline=None)
+def test_backends_stay_in_lockstep_through_dml(rows_r, bound, replacement):
+    mem, sq = make_pair(rows_r, [])
+    update = "UPDATE R SET b = ? WHERE a <= ?"
+    delete = "DELETE FROM R WHERE b = ?"
+    assert mem.sql(update, [replacement, bound]) == sq.sql(update, [replacement, bound])
+    assert mem.sql(delete, [bound]) == sq.sql(delete, [bound])
+    assert mem.relation_contents() == sq.relation_contents()
+
+
+@given(r_rows, values)
+@settings(max_examples=60, deadline=None)
+def test_snapshot_restore_preserves_agreement(rows_r, bound):
+    mem, sq = make_pair(rows_r, [])
+    snapshots = (mem.snapshot(), sq.snapshot())
+    for db in (mem, sq):
+        db.sql("DELETE FROM R WHERE a >= ?", [bound])
+    for db, snapshot in zip((mem, sq), snapshots):
+        db.restore(snapshot)
+    assert mem.relation_contents() == sq.relation_contents()
+    assert_agree(mem, sq, "SELECT a, b FROM R")

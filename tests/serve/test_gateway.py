@@ -199,25 +199,27 @@ class TestDriver:
 
 
 class TestProxyConfigCompat:
-    def test_config_object_and_legacy_kwargs_agree(self, calendar_db, calendar_policy):
+    def test_config_object_is_the_only_construction_path(
+        self, calendar_db, calendar_policy
+    ):
         configured = EnforcementProxy(
             calendar_db,
             calendar_policy,
             Session.for_user(1),
             ProxyConfig(history_enabled=False, record_decisions=True),
         )
-        legacy = EnforcementProxy(
-            calendar_db,
-            calendar_policy,
-            Session.for_user(1),
-            history_enabled=False,
-            record_decisions=True,
-        )
-        assert configured.config == legacy.config
-        assert not legacy.checker.history_enabled
-        # Legacy read-only attribute accessors still answer.
-        assert legacy.record_decisions is True
-        assert legacy.cache is None
+        assert not configured.checker.history_enabled
+        # Read-only attribute accessors answer from the config.
+        assert configured.record_decisions is True
+        assert configured.cache is None
+        with pytest.raises(TypeError, match="ProxyConfig"):
+            EnforcementProxy(
+                calendar_db,
+                calendar_policy,
+                Session.for_user(1),
+                history_enabled=False,
+                record_decisions=True,
+            )
 
     def test_decision_log_is_a_capped_ring_buffer(self, calendar_db, calendar_policy):
         proxy = EnforcementProxy(
