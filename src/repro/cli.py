@@ -13,6 +13,7 @@
     python -m repro serve-bench --app social --requests 500 --workers 8 \\
         --write-every 20 --verify
     python -m repro serve --app calendar --port 7433 --max-in-flight 16
+    python -m repro cluster --app calendar --shards 4 --port 7432
 
 Every subcommand operates on one of the bundled workload applications
 (``--app calendar|hospital|employees|social``) and prints human-readable
@@ -314,6 +315,59 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def cmd_shard(args: argparse.Namespace) -> int:
+    from repro.cluster.shard import run_shard, spec_from_args
+
+    return run_shard(spec_from_args(args))
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.cluster import BackgroundCluster, ClusterConfig, RouterConfig
+
+    config = ClusterConfig(
+        app=args.app,
+        shards=args.shards,
+        size=args.size,
+        seed=args.seed,
+        backend=args.backend,
+        db_path=args.db_path,
+        cache_mode=args.cache,
+        check_workers=args.check_workers,
+        exchange=not args.no_exchange,
+        audit_dir=args.audit_dir,
+        router=RouterConfig(host=args.host, port=args.port),
+    )
+    cluster = BackgroundCluster(config)
+    try:
+        cluster.start()
+    except (RuntimeError, TimeoutError, OSError) as exc:
+        print(f"error: cluster failed to start: {exc}", file=sys.stderr)
+        return 2
+    try:
+        ports = ", ".join(str(shard.port) for shard in cluster.shards)
+        print(
+            f"repro cluster: app={args.app} shards={args.shards}"
+            f" (ports {ports}) cache={args.cache}"
+            f" exchange={'on' if config.exchange else 'off'}"
+        )
+        print(f"  router listening on {args.host}:{cluster.port}")
+        print(
+            "  STATS aggregates across shards; RELOAD and the other admin"
+            " verbs roll shard-by-shard"
+        )
+        print("  Ctrl-C drains the fleet gracefully")
+        while all(shard.alive for shard in cluster.shards):
+            _time.sleep(1.0)
+        print("a shard exited; shutting the cluster down", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        cluster.stop()
 
 
 def _read_policy_arg(spec: str, app, db):
@@ -653,6 +707,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="checker worker processes for shadow-mode checks (0 = in-process)",
     )
     net.set_defaults(func=cmd_serve)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="serve a sharded gateway cluster behind one wire-protocol router",
+    )
+    common(cluster)
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument(
+        "--port", type=int, default=7432, help="router port (0 picks a free port)"
+    )
+    cluster.add_argument(
+        "--shards", type=_positive_int, default=2, help="gateway shard subprocesses"
+    )
+    cluster.add_argument(
+        "--cache",
+        choices=["shared", "per-session", "none"],
+        default="shared",
+        help="decision-cache configuration (per shard)",
+    )
+    cluster.add_argument(
+        "--check-workers",
+        type=int,
+        default=0,
+        help="checker worker processes per shard (0 = in-process)",
+    )
+    cluster.add_argument(
+        "--no-exchange",
+        action="store_true",
+        help="disable cross-shard decision-template exchange",
+    )
+    cluster.add_argument(
+        "--audit-dir",
+        default=None,
+        help="write per-shard decision audit JSONL logs into this directory",
+    )
+    cluster.set_defaults(func=cmd_cluster)
+
+    shard = sub.add_parser(
+        "shard",
+        help="run one gateway shard subprocess (used by `repro cluster`)",
+    )
+    common(shard)
+    shard.add_argument("--shard-id", type=int, required=True)
+    shard.add_argument("--host", default="127.0.0.1")
+    shard.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    shard.add_argument(
+        "--cache",
+        choices=["shared", "per-session", "none"],
+        default="shared",
+    )
+    shard.add_argument("--check-workers", type=int, default=0)
+    shard.add_argument("--exchange-host", default="127.0.0.1")
+    shard.add_argument(
+        "--exchange-port",
+        type=int,
+        default=None,
+        help="template-exchange bus port (omit to disable the exchange)",
+    )
+    shard.add_argument(
+        "--audit-log", default=None, help="append decision audit JSONL here"
+    )
+    shard.add_argument("--max-in-flight", type=_positive_int, default=16)
+    shard.add_argument("--request-timeout", type=float, default=30.0)
+    shard.set_defaults(func=cmd_shard)
 
     def admin_common(p):
         p.add_argument("--host", default="127.0.0.1")

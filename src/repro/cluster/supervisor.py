@@ -1,0 +1,253 @@
+"""Parent-side cluster supervision: shard subprocesses + the router.
+
+:class:`ShardProcess` wraps one ``repro shard`` subprocess: it spawns
+``python -m repro shard ...`` (with ``PYTHONPATH`` propagated so the
+child finds the same checkout), blocks on the ``SHARD-READY`` handshake
+line to learn the shard's ephemeral port, keeps draining the child's
+stdout so it can never block on a full pipe, and stops the shard with
+``SIGTERM`` (graceful drain) escalating to ``SIGKILL``.
+
+:class:`BackgroundCluster` is the synchronous façade tests and the E16
+benchmark use, mirroring :class:`~repro.net.server.BackgroundServer`:
+``with BackgroundCluster(ClusterConfig(app="calendar", shards=4)) as
+cluster:`` brings up the template bus, the shard fleet, and the router
+on a dedicated event-loop thread, exposes ``cluster.port`` for any wire
+client, and tears everything down (router → shards → bus) on exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cluster.exchange import TemplateBus
+from repro.cluster.router import ClusterRouter, RouterConfig
+
+
+def _pythonpath_for_child() -> dict[str, str]:
+    """The child environment, with this checkout's ``src`` on the path."""
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else src_dir + os.pathsep + existing
+    )
+    return env
+
+
+class ShardProcess:
+    """One supervised ``repro shard`` subprocess."""
+
+    def __init__(self, shard_id: int, argv: list[str], ready_timeout_s: float = 30.0):
+        self.shard_id = shard_id
+        self.port: int | None = None
+        self._process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "shard", *argv],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=_pythonpath_for_child(),
+            text=True,
+        )
+        self._tail: list[str] = []
+        self._await_ready(ready_timeout_s)
+        self._drainer = threading.Thread(
+            target=self._drain, name=f"shard-{shard_id}-stdout", daemon=True
+        )
+        self._drainer.start()
+
+    def _await_ready(self, timeout_s: float) -> None:
+        marker = f"SHARD-READY shard={self.shard_id} port="
+        deadline = time.monotonic() + timeout_s
+        assert self._process.stdout is not None
+        while True:
+            if time.monotonic() > deadline:
+                self.stop()
+                raise TimeoutError(
+                    f"shard {self.shard_id} did not become ready in {timeout_s}s;"
+                    f" output so far: {''.join(self._tail[-20:])!r}"
+                )
+            line = self._process.stdout.readline()
+            if not line:
+                code = self._process.poll()
+                raise RuntimeError(
+                    f"shard {self.shard_id} exited (code {code}) before ready;"
+                    f" output: {''.join(self._tail[-20:])!r}"
+                )
+            self._tail.append(line)
+            if line.startswith(marker):
+                self.port = int(line[len(marker) :].strip())
+                return
+
+    def _drain(self) -> None:
+        assert self._process.stdout is not None
+        for line in self._process.stdout:
+            self._tail.append(line)
+            if len(self._tail) > 200:
+                del self._tail[:100]
+
+    @property
+    def alive(self) -> bool:
+        return self._process.poll() is None
+
+    def stop(self, grace_s: float = 10.0) -> None:
+        """SIGTERM (graceful drain), then SIGKILL after ``grace_s``."""
+        if self._process.poll() is not None:
+            return
+        try:
+            self._process.send_signal(signal.SIGTERM)
+            self._process.wait(timeout=grace_s)
+        except subprocess.TimeoutExpired:
+            self._process.kill()
+            self._process.wait(timeout=5.0)
+        except ProcessLookupError:
+            pass
+
+    def kill(self) -> None:
+        """Immediate SIGKILL — the E16 shard-down experiment's hammer."""
+        if self._process.poll() is None:
+            self._process.kill()
+            self._process.wait(timeout=5.0)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything :class:`BackgroundCluster` needs to bring a fleet up."""
+
+    app: str
+    shards: int = 2
+    size: int | None = None
+    seed: int = 7
+    backend: str | None = None
+    db_path: str | None = None
+    cache_mode: str = "shared"
+    check_workers: int = 0
+    #: Cross-shard template exchange on/off (the E16 ablation knob).
+    exchange: bool = True
+    #: Directory for per-shard decision audit JSONL logs (None = off).
+    audit_dir: str | None = None
+    request_timeout_s: float = 30.0
+    ready_timeout_s: float = 60.0
+    router: RouterConfig = field(default_factory=lambda: RouterConfig(health_interval_s=0.5))
+
+
+class BackgroundCluster:
+    """A whole cluster (bus + shards + router) on a background loop thread."""
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self.shards: list[ShardProcess] = []
+        self.router: ClusterRouter | None = None
+        self.bus: TemplateBus | None = None
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> "BackgroundCluster":
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="cluster-loop", daemon=True
+        )
+        self._thread.start()
+        try:
+            if self.config.exchange:
+                self.bus = TemplateBus()
+                self._call(self.bus.start())
+            self._spawn_shards()
+            self.router = ClusterRouter(
+                [("127.0.0.1", shard.port) for shard in self.shards],
+                self.config.router,
+            )
+            self._call(self.router.start())
+            self.port = self.router.port
+        except BaseException:
+            self.stop()
+            raise
+        return self
+
+    def stop(self) -> None:
+        if self._loop is None:
+            return
+        if self.router is not None:
+            self._call(self.router.stop())
+            self.router = None
+        for shard in self.shards:
+            shard.stop()
+        self.shards = []
+        if self.bus is not None:
+            self._call(self.bus.stop())
+            self.bus = None
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._loop.close()
+        self._loop = None
+
+    def __enter__(self) -> "BackgroundCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- pieces -------------------------------------------------------------------
+
+    def _spawn_shards(self) -> None:
+        config = self.config
+        if config.audit_dir is not None:
+            Path(config.audit_dir).mkdir(parents=True, exist_ok=True)
+        for shard_id in range(config.shards):
+            argv = [
+                "--app", config.app,
+                "--shard-id", str(shard_id),
+                "--port", "0",
+                "--seed", str(config.seed),
+                "--cache", config.cache_mode,
+                "--check-workers", str(config.check_workers),
+                "--request-timeout", str(config.request_timeout_s),
+            ]
+            if config.size is not None:
+                argv += ["--size", str(config.size)]
+            if config.backend is not None:
+                argv += ["--backend", config.backend]
+            if config.db_path is not None:
+                argv += ["--db-path", config.db_path]
+            if self.bus is not None:
+                argv += ["--exchange-port", str(self.bus.port)]
+            if config.audit_dir is not None:
+                argv += [
+                    "--audit-log",
+                    str(Path(config.audit_dir) / f"shard-{shard_id}.jsonl"),
+                ]
+            self.shards.append(
+                ShardProcess(shard_id, argv, ready_timeout_s=config.ready_timeout_s)
+            )
+
+    def audit_paths(self) -> list[Path]:
+        if self.config.audit_dir is None:
+            return []
+        return [
+            Path(self.config.audit_dir) / f"shard-{shard.shard_id}.jsonl"
+            for shard in self.shards
+        ]
+
+    def _call(self, coroutine):
+        assert self._loop is not None
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop).result(
+            timeout=180.0
+        )
+
+    def _run_loop(self) -> None:
+        assert self._loop is not None
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()

@@ -13,7 +13,12 @@ protocol so workloads replay over the wire unmodified. See
 ``docs/networking.md`` and the E12 benchmark.
 """
 
-from repro.net.client import AdminClient, NetClientConnection, NetGatewayClient
+from repro.net.client import (
+    AdminClient,
+    NetClientConnection,
+    NetGatewayClient,
+    connect_with_retry,
+)
 from repro.net.metrics import NetMetrics
 from repro.net.protocol import (
     MAX_FRAME_BYTES,
@@ -37,4 +42,5 @@ __all__ = [
     "NetMetrics",
     "NetServer",
     "ServerConfig",
+    "connect_with_retry",
 ]

@@ -29,6 +29,42 @@ from repro.serve.metrics import GatewayMetrics, MetricsSnapshot
 from repro.sqlir import ast
 from repro.util.errors import EngineError
 
+#: Default connect-retry schedule: 4 retries, doubling from 50 ms and
+#: capped at 1 s, is ~0.75 s of total patience — enough to ride out a
+#: shard subprocess binding its socket, short enough that a dead server
+#: still fails fast.
+CONNECT_RETRIES = 4
+RETRY_BASE_S = 0.05
+RETRY_MAX_S = 1.0
+
+
+def connect_with_retry(
+    host: str,
+    port: int,
+    timeout_s: float,
+    retries: int = CONNECT_RETRIES,
+    retry_base_s: float = RETRY_BASE_S,
+    retry_max_s: float = RETRY_MAX_S,
+) -> socket.socket:
+    """Dial ``host:port`` with bounded exponential backoff.
+
+    A freshly spawned server (a cluster shard, a test fixture) can lose
+    the race against its first client; a raw ``ECONNREFUSED`` there is
+    noise, not a failure. Retries ``retries`` times on any ``OSError``,
+    sleeping ``retry_base_s * 2**attempt`` (capped at ``retry_max_s``)
+    between attempts, then re-raises the final error unchanged so
+    callers still see the familiar exception type.
+    """
+    attempt = 0
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=timeout_s)
+        except OSError:
+            if attempt >= retries:
+                raise
+            time.sleep(min(retry_base_s * (2**attempt), retry_max_s))
+            attempt += 1
+
 
 class NetClientConnection:
     """One authenticated wire session; implements ``Connection``.
@@ -47,6 +83,7 @@ class NetClientConnection:
         fresh: bool = False,
         timeout_s: float = 30.0,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        connect_retries: int = CONNECT_RETRIES,
     ):
         if bindings is None:
             if user is None:
@@ -56,7 +93,9 @@ class NetClientConnection:
         self._max_frame_bytes = max_frame_bytes
         self._next_id = 0
         self._closed = False
-        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._sock = connect_with_retry(
+            host, port, timeout_s, retries=connect_retries
+        )
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         try:
             reply = self._roundtrip(
@@ -72,6 +111,9 @@ class NetClientConnection:
             #: Backend identity the server reported in WELCOME (absent on
             #: pre-backend servers).
             self.server_backend = reply.get("backend")
+            #: Which cluster shard answered the HELLO (additive WELCOME
+            #: field; ``None`` outside a ``repro.cluster`` deployment).
+            self.server_shard_id = reply.get("shard_id")
         except BaseException:
             self._sock.close()
             self._closed = True
@@ -224,12 +266,20 @@ class AdminClient:
     number from ``policy_from_text``.
     """
 
-    def __init__(self, host: str, port: int, timeout_s: float = 150.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 150.0,
+        connect_retries: int = CONNECT_RETRIES,
+    ):
         # Timeout must outlast the server's 120s admin deadline.
         self._max_frame_bytes = protocol.MAX_FRAME_BYTES
         self._next_id = 0
         self._closed = False
-        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._sock = connect_with_retry(
+            host, port, timeout_s, retries=connect_retries
+        )
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
     # -- verbs --------------------------------------------------------------------

@@ -120,6 +120,7 @@ ERR_TIMEOUT = "timeout"  # per-request deadline exceeded
 ERR_MALFORMED = "malformed"  # frame payload is not a valid message
 ERR_OVERSIZED = "oversized"  # frame length exceeds max_frame_bytes
 ERR_UNAUTHENTICATED = "unauthenticated"  # QUERY/EXEC before HELLO
+ERR_UNAVAILABLE = "unavailable"  # a cluster router's target shard is down
 ERR_BAD_VERSION = "bad_version"  # HELLO version mismatch
 ERR_BAD_REQUEST = "bad_request"  # well-formed frame, invalid contents
 ERR_SHUTTING_DOWN = "shutting_down"  # server is draining

@@ -70,6 +70,10 @@ class ServerConfig:
     Tests and the E12 overload run use it to make timing-dependent
     behavior (shedding, deadlines, drain) deterministic; leave it 0 in
     real deployments.
+
+    ``shard_id`` identifies this server within a ``repro.cluster``
+    deployment; when set it is stamped into WELCOME and STATS (additive
+    fields — older clients ignore them, so ``PROTOCOL_VERSION`` stays 1).
     """
 
     host: str = "127.0.0.1"
@@ -82,6 +86,7 @@ class ServerConfig:
     drain_grace_s: float = 10.0
     max_frame_bytes: int = protocol.MAX_FRAME_BYTES
     execute_delay_s: float = 0.0
+    shard_id: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_connections < 1:
@@ -125,6 +130,7 @@ class NetServer:
         # same session must not run statements on one proxy concurrently.
         self._session_locks: dict[tuple, threading.Lock] = {}
         self._session_locks_guard = threading.Lock()
+        self._started_at: float | None = None
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -138,6 +144,7 @@ class NetServer:
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port
         )
+        self._started_at = time.monotonic()
 
     @property
     def port(self) -> int:
@@ -152,6 +159,13 @@ class NetServer:
     @property
     def draining(self) -> bool:
         return self._draining.is_set()
+
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since :meth:`start` bound the listening socket."""
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -366,6 +380,8 @@ class NetServer:
             # backend this deployment fronts.
             "backend": self.gateway.db.backend.describe(),
         }
+        if self.config.shard_id is not None:
+            welcome["shard_id"] = self.config.shard_id
         return _Authenticated(connection=connection, key=key, welcome=welcome)
 
     def _handle_stats(self, frame: dict) -> dict:
@@ -381,7 +397,12 @@ class NetServer:
             },
             "cache_hit_rate": self.gateway.cache_hit_rate(),
             "backend": self.gateway.db.backend.describe(),
+            # Additive fields (see ServerConfig.shard_id): cluster identity
+            # and process age, used by the router's aggregated STATS.
+            "uptime_s": self.uptime_s,
         }
+        if self.config.shard_id is not None:
+            reply["shard_id"] = self.config.shard_id
         if self.lifecycle is not None:
             reply["policy"] = self.lifecycle.status()
         else:

@@ -72,14 +72,58 @@ class LatencyHistogram:
         self.total_seconds += other.total_seconds
         self.max_seconds = max(self.max_seconds, other.max_seconds)
 
+    # -- wire round-trip (cluster STATS aggregation) ------------------------------
+
+    def to_stage_wire(self) -> dict[str, object]:
+        """The JSON-safe stage document STATS carries for one histogram.
+
+        Percentile summaries alone cannot be merged across processes, so
+        the document also carries the raw bucket counts (``buckets``) and
+        the running totals — everything :meth:`from_stage_wire` needs to
+        rebuild an equivalent histogram that :meth:`merge` can combine.
+        """
+        return {
+            "count": float(self.count),
+            "mean_us": self.mean_us,
+            "p50_us": self.percentile_us(50),
+            "p95_us": self.percentile_us(95),
+            "p99_us": self.percentile_us(99),
+            "max_us": self.max_seconds * 1e6,
+            "buckets": list(self._counts),
+            "total_s": self.total_seconds,
+        }
+
+    @classmethod
+    def from_stage_wire(cls, stage: dict) -> "LatencyHistogram | None":
+        """Rebuild a histogram from a STATS stage document.
+
+        Returns ``None`` for documents from servers that predate the raw
+        ``buckets`` field (merge callers then fall back to summaries).
+        """
+        buckets = stage.get("buckets")
+        if not isinstance(buckets, list) or len(buckets) != len(_BUCKET_BOUNDS_US) + 1:
+            return None
+        histogram = cls()
+        histogram._counts = [int(count) for count in buckets]
+        histogram.count = int(stage.get("count", sum(histogram._counts)))
+        histogram.total_seconds = float(stage.get("total_s", 0.0))
+        histogram.max_seconds = float(stage.get("max_us", 0.0)) / 1e6
+        return histogram
+
 
 @dataclass
 class MetricsSnapshot:
-    """An immutable copy of the gateway's metrics at one instant."""
+    """An immutable copy of the gateway's metrics at one instant.
+
+    Each stage document carries the summary fields (``count`` /
+    ``mean_us`` / percentiles / ``max_us``) plus the raw ``buckets`` and
+    ``total_s`` needed to merge histograms across processes (see
+    :meth:`LatencyHistogram.to_stage_wire`).
+    """
 
     counters: dict[str, int]
     view_checks: dict[str, int]
-    stages: dict[str, dict[str, float]]
+    stages: dict[str, dict[str, object]]
 
     def describe(self) -> str:
         lines = ["counters:"]
@@ -142,14 +186,7 @@ class GatewayMetrics:
     def snapshot(self) -> MetricsSnapshot:
         with self._lock:
             stages = {
-                stage: {
-                    "count": float(histogram.count),
-                    "mean_us": histogram.mean_us,
-                    "p50_us": histogram.percentile_us(50),
-                    "p95_us": histogram.percentile_us(95),
-                    "p99_us": histogram.percentile_us(99),
-                    "max_us": histogram.max_seconds * 1e6,
-                }
+                stage: histogram.to_stage_wire()
                 for stage, histogram in self._stages.items()
             }
             return MetricsSnapshot(

@@ -1,0 +1,128 @@
+"""Merging per-shard STATS documents into one cluster document."""
+
+from __future__ import annotations
+
+from repro.cluster.aggregate import aggregate_stats
+from repro.serve.metrics import LatencyHistogram
+
+
+def _histogram(samples_us) -> LatencyHistogram:
+    histogram = LatencyHistogram()
+    for micros in samples_us:
+        histogram.observe(micros / 1e6)
+    return histogram
+
+
+def _shard_reply(shard_id, counters, stage, policy_version=1, hit_rate=0.5):
+    return {
+        "type": "STATS",
+        "shard_id": shard_id,
+        "uptime_s": 10.0 * (shard_id + 1),
+        "net": {
+            "counters": {"requests": 100 * (shard_id + 1)},
+            "stages": {"net_request": stage},
+            "active_connections": 2,
+            "in_flight": 1,
+        },
+        "gateway": {
+            "counters": counters,
+            "view_checks": {"OwnEvents": 3},
+            "stages": {"check": stage},
+        },
+        "cache_hit_rate": hit_rate,
+        "policy": {"active_version": policy_version},
+    }
+
+
+class TestAggregateStats:
+    def test_counters_sum_and_gauges_sum(self):
+        replies = [
+            _shard_reply(0, {"decisions_allowed": 10}, _histogram([100]).to_stage_wire()),
+            _shard_reply(1, {"decisions_allowed": 5}, _histogram([200]).to_stage_wire()),
+        ]
+        merged = aggregate_stats(replies)
+        assert merged["gateway"]["counters"]["decisions_allowed"] == 15
+        assert merged["gateway"]["view_checks"]["OwnEvents"] == 6
+        assert merged["net"]["counters"]["requests"] == 300
+        assert merged["net"]["active_connections"] == 4
+        assert merged["net"]["in_flight"] == 2
+        assert merged["cluster"]["shard_count"] == 2
+        assert [s["shard_id"] for s in merged["cluster"]["shards"]] == [0, 1]
+
+    def test_histograms_merge_exactly_not_by_averaging(self):
+        """The merged stage must equal a direct merge of the histograms."""
+        left = _histogram([10, 20, 5000])
+        right = _histogram([1, 1, 1, 400_000])
+        replies = [
+            _shard_reply(0, {}, left.to_stage_wire()),
+            _shard_reply(1, {}, right.to_stage_wire()),
+        ]
+        merged = aggregate_stats(replies)["gateway"]["stages"]["check"]
+        direct = _histogram([10, 20, 5000, 1, 1, 1, 400_000])
+        expected = direct.to_stage_wire()
+        assert merged["buckets"] == expected["buckets"]
+        assert merged["count"] == expected["count"]
+        assert merged["p99_us"] == expected["p99_us"]
+        assert merged["max_us"] == expected["max_us"]
+
+    def test_pre_bucket_documents_degrade_to_weighted_summary(self):
+        old_style = {"count": 10, "mean_us": 100.0, "p99_us": 500.0, "max_us": 600.0}
+        replies = [
+            _shard_reply(0, {}, old_style),
+            _shard_reply(1, {}, {"count": 30, "mean_us": 200.0, "p99_us": 900.0, "max_us": 1000.0}),
+        ]
+        merged = aggregate_stats(replies)["gateway"]["stages"]["check"]
+        assert merged["approximate"] is True
+        assert merged["count"] == 40
+        assert merged["mean_us"] == (10 * 100.0 + 30 * 200.0) / 40
+        assert merged["p99_us"] == 900.0
+
+    def test_hit_rate_recomputed_from_summed_counters(self):
+        """A busy shard must outweigh an idle one (no rate averaging)."""
+        stage = _histogram([10]).to_stage_wire()
+        replies = [
+            _shard_reply(
+                0,
+                {"shared_cache_hits": 99, "shared_cache_misses": 1, "shared_cache_hit_rate": 0.99},
+                stage,
+                hit_rate=0.99,
+            ),
+            _shard_reply(
+                1,
+                {"shared_cache_hits": 0, "shared_cache_misses": 0, "shared_cache_hit_rate": 0.0},
+                stage,
+                hit_rate=0.0,
+            ),
+        ]
+        merged = aggregate_stats(replies)
+        assert merged["cache_hit_rate"] == 0.99
+        assert merged["gateway"]["counters"]["shared_cache_hit_rate"] == 0.99
+
+    def test_policy_version_consensus_and_divergence(self):
+        stage = _histogram([10]).to_stage_wire()
+        same = aggregate_stats(
+            [_shard_reply(0, {}, stage), _shard_reply(1, {}, stage)]
+        )
+        assert same["policy"] == {"active_versions": [1], "consistent": True}
+        split = aggregate_stats(
+            [
+                _shard_reply(0, {}, stage, policy_version=2),
+                _shard_reply(1, {}, stage, policy_version=1),
+            ]
+        )
+        assert split["policy"] == {"active_versions": [1, 2], "consistent": False}
+
+    def test_policy_version_counter_not_summed(self):
+        stage = _histogram([10]).to_stage_wire()
+        merged = aggregate_stats(
+            [
+                _shard_reply(0, {"policy_version": 1}, stage),
+                _shard_reply(1, {"policy_version": 1}, stage),
+            ]
+        )
+        assert "policy_version" not in merged["gateway"]["counters"]
+
+    def test_empty_fleet(self):
+        merged = aggregate_stats([])
+        assert merged["cache_hit_rate"] == 0.0
+        assert merged["cluster"]["shard_count"] == 0

@@ -1,0 +1,223 @@
+"""The template-exchange tier: serialization, fencing, and the bus.
+
+These tests run the real bus and real exchange clients against real
+in-process gateways (no subprocesses): two gateways over identical
+databases join one :class:`TemplateBus`, and we drive sessions against
+one gateway and observe the other's shared cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.cluster.exchange import (
+    TemplateBus,
+    TemplateExchangeClient,
+    _deserialize_fact,
+    _serialize_fact,
+    invalidate_event,
+    template_event,
+)
+from repro.enforce.decision import Decision
+from repro.enforce.trace import _NULL_PREFIX, is_labeled_null
+from repro.lifecycle.reload import hot_reload
+from repro.policy import policy_from_text, policy_to_text
+from repro.relalg.cq import Atom, Const, Var
+from repro.serve import EnforcementGateway, GatewayConfig
+from repro.workloads import calendar_app
+
+
+# --------------------------------------------------------------------------
+# Fact serialization
+# --------------------------------------------------------------------------
+
+
+class TestFactSerialization:
+    def test_const_fact_roundtrip(self):
+        fact = Atom("Attendance", (Const(1), Const("héllo — ünïcode")))
+        assert _deserialize_fact(_serialize_fact(fact)) == fact
+
+    def test_labeled_null_roundtrip_preserves_identity(self):
+        null_a = Var(f"{_NULL_PREFIX}7")
+        null_b = Var(f"{_NULL_PREFIX}8")
+        fact = Atom("Events", (null_a, Const(2), null_a, null_b))
+        restored = _deserialize_fact(_serialize_fact(fact))
+        assert is_labeled_null(restored.args[0])
+        assert restored.args[0] == restored.args[2]  # same null, same var
+        assert restored.args[0] != restored.args[3]
+        assert restored.args[1] == Const(2)
+
+    def test_bool_and_none_consts_survive(self):
+        fact = Atom("T", (Const(True), Const(None), Const(0)))
+        restored = _deserialize_fact(_serialize_fact(fact))
+        assert restored.args[0].value is True
+        assert restored.args[1].value is None
+        assert restored.args[2].value == 0
+
+
+# --------------------------------------------------------------------------
+# Event construction
+# --------------------------------------------------------------------------
+
+
+def make_gateway(**config) -> EnforcementGateway:
+    db = calendar_app.make_database(size=10, seed=3)
+    if db.query("SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2").is_empty():
+        db.sql("INSERT INTO Attendance VALUES (1, 2)")
+    policy = calendar_app.make_app().ground_truth_policy()
+    return EnforcementGateway(db, policy, GatewayConfig(**config))
+
+
+class TestEvents:
+    def test_template_event_carries_epoch_identity(self):
+        gateway = make_gateway()
+        decision = Decision(allowed=True, sql="SELECT Title FROM Events WHERE EId = 1", reason="ok")
+        event = template_event({"MyUId": 1}, decision, gateway.epoch, shard_id=3)
+        assert event["type"] == "TEMPLATE"
+        assert event["shard"] == 3
+        assert event["policy_version"] == gateway.epoch.version
+        assert event["policy_fingerprint"] == gateway.policy.fingerprint()
+        gateway.close()
+
+    def test_invalidate_event(self):
+        gateway = make_gateway()
+        event = invalidate_event(("Events", "Attendance"), gateway.epoch, shard_id=0)
+        assert event["type"] == "INVALIDATE"
+        assert event["tables"] == ["Events", "Attendance"]
+        gateway.close()
+
+
+# --------------------------------------------------------------------------
+# Bus + clients, end to end in one process
+# --------------------------------------------------------------------------
+
+
+class _LoopThread:
+    """A bare event loop on a thread, to host the TemplateBus in tests."""
+
+    def __init__(self):
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+
+    def call(self, coroutine):
+        return asyncio.run_coroutine_threadsafe(coroutine, self.loop).result(timeout=30)
+
+    def stop(self):
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=5)
+        self.loop.close()
+
+
+@pytest.fixture
+def bus_pair():
+    """(gateway_a, gateway_b) joined to one bus, with exchange clients."""
+    loop = _LoopThread()
+    bus = TemplateBus()
+    loop.call(bus.start())
+    gateway_a = make_gateway()
+    gateway_b = make_gateway()
+    client_a = TemplateExchangeClient("127.0.0.1", bus.port, gateway_a, shard_id=0)
+    client_b = TemplateExchangeClient("127.0.0.1", bus.port, gateway_b, shard_id=1)
+    client_a.attach()
+    client_b.attach()
+    try:
+        yield gateway_a, gateway_b, client_a, client_b
+    finally:
+        client_a.close()
+        client_b.close()
+        gateway_a.close()
+        gateway_b.close()
+        loop.call(bus.stop())
+        loop.stop()
+
+
+def _wait_until(predicate, timeout_s=5.0, message="condition"):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+class TestExchangeEndToEnd:
+    def test_miss_on_one_gateway_becomes_hit_on_the_other(self, bus_pair):
+        gateway_a, gateway_b, client_a, client_b = bus_pair
+        connection = gateway_a.connect({"MyUId": 1})
+        connection.query("SELECT EId FROM Attendance WHERE UId = 1")
+        _wait_until(
+            lambda: client_b.stats()["templates_applied"] >= 1,
+            message="template to cross the bus",
+        )
+        assert gateway_b.shared_cache is not None
+        size_before = gateway_b.shared_cache.size
+        assert size_before >= 1
+        # The same query on gateway B must now hit without a fresh check.
+        peer = gateway_b.connect({"MyUId": 1})
+        peer.query("SELECT EId FROM Attendance WHERE UId = 1")
+        assert gateway_b.shared_cache.hits >= 1
+        assert gateway_b.metrics.counter("exchange_templates_applied") >= 1
+
+    def test_write_invalidation_crosses_the_bus(self, bus_pair):
+        gateway_a, gateway_b, client_a, client_b = bus_pair
+        # Seed both caches with a template on Attendance.
+        gateway_a.connect({"MyUId": 1}).query("SELECT EId FROM Attendance WHERE UId = 1")
+        _wait_until(
+            lambda: client_b.stats()["templates_applied"] >= 1,
+            message="template to cross the bus",
+        )
+        assert gateway_b.shared_cache.size >= 1
+        # A write on gateway A must evict gateway B's templates too
+        # (a zero-row DELETE still invalidates by written table).
+        gateway_a.connect({"MyUId": 1}).sql("DELETE FROM Attendance WHERE UId = 999")
+        _wait_until(
+            lambda: client_b.stats()["invalidations_applied"] >= 1,
+            message="invalidation to cross the bus",
+        )
+        assert all(
+            "Attendance" not in template.tables
+            for template in gateway_b.shared_cache.iter_templates()
+        )
+
+    def test_epoch_fencing_drops_cross_version_templates(self, bus_pair):
+        gateway_a, gateway_b, client_a, client_b = bus_pair
+        # Reload gateway B to a different (but equivalent-text) policy; its
+        # version bumps, so A's v1 templates must be fenced at B.
+        text = policy_to_text(gateway_b.policy)
+        reloaded = policy_from_text(text, gateway_b.db.schema, name="v2")
+        hot_reload(gateway_b, reloaded, version=2, provenance="hand-written")
+        assert gateway_b.epoch.version == 2
+        gateway_a.connect({"MyUId": 1}).query("SELECT EId FROM Attendance WHERE UId = 1")
+        _wait_until(
+            lambda: client_b.stats()["templates_fenced"] >= 1,
+            message="the cross-version template to be fenced",
+        )
+        assert client_b.stats()["templates_applied"] == 0
+        assert gateway_b.shared_cache.size == 0
+
+    def test_no_republish_loop(self, bus_pair):
+        """Applying a remote template must not publish it again."""
+        gateway_a, gateway_b, client_a, client_b = bus_pair
+        gateway_a.connect({"MyUId": 1}).query("SELECT EId FROM Attendance WHERE UId = 1")
+        _wait_until(
+            lambda: client_b.stats()["templates_applied"] >= 1,
+            message="template to cross the bus",
+        )
+        time.sleep(0.2)  # give any (buggy) echo time to circulate
+        assert client_b.stats()["published"] == 0
+        assert client_a.stats()["received"] == 0
+
+    def test_close_detaches_observers(self, bus_pair):
+        gateway_a, _, client_a, _ = bus_pair
+        client_a.close()
+        assert gateway_a.template_observer is None
+        assert gateway_a.write_observer is None

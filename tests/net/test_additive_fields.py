@@ -1,0 +1,43 @@
+"""Additive WELCOME/STATS fields: shard identity and uptime.
+
+These ride on PROTOCOL_VERSION 1 — servers add them, old clients ignore
+them — so a lone gateway and a cluster shard speak the same protocol.
+"""
+
+from __future__ import annotations
+
+from repro.net import protocol
+from repro.net.client import AdminClient, NetClientConnection
+from repro.net.server import BackgroundServer, ServerConfig
+from tests.net.test_client_server import make_gateway
+
+
+class TestShardIdentity:
+    def test_welcome_and_stats_carry_shard_id_when_configured(self):
+        gateway = make_gateway()
+        with BackgroundServer(gateway, ServerConfig(port=0, shard_id=5)) as server:
+            connection = NetClientConnection("127.0.0.1", server.port, user=1)
+            assert connection.server_shard_id == 5
+            connection.close()
+            admin = AdminClient("127.0.0.1", server.port)
+            stats = admin.stats()
+            admin.close()
+            assert stats["shard_id"] == 5
+            assert stats["uptime_s"] > 0
+        gateway.close()
+
+    def test_fields_absent_outside_a_cluster(self):
+        gateway = make_gateway()
+        with BackgroundServer(gateway, ServerConfig(port=0)) as server:
+            connection = NetClientConnection("127.0.0.1", server.port, user=1)
+            assert connection.server_shard_id is None
+            connection.close()
+            admin = AdminClient("127.0.0.1", server.port)
+            stats = admin.stats()
+            admin.close()
+            assert "shard_id" not in stats
+            assert stats["uptime_s"] > 0  # uptime is always reported
+        gateway.close()
+
+    def test_protocol_version_unchanged(self):
+        assert protocol.PROTOCOL_VERSION == 1

@@ -1,0 +1,84 @@
+"""Bounded-backoff connect retry (`connect_with_retry`)."""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.net.client import NetClientConnection, connect_with_retry
+from repro.net.server import BackgroundServer, ServerConfig
+from tests.net.test_client_server import make_gateway
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestConnectWithRetry:
+    def test_rides_out_a_late_starting_listener(self):
+        """The exact race a shard subprocess loses: client dials first."""
+        port = _free_port()
+        listener = socket.socket()
+        accepted = threading.Event()
+
+        def open_late():
+            time.sleep(0.15)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind(("127.0.0.1", port))
+            listener.listen(1)
+            listener.accept()
+            accepted.set()
+
+        thread = threading.Thread(target=open_late, daemon=True)
+        thread.start()
+        try:
+            sock = connect_with_retry("127.0.0.1", port, timeout_s=5.0)
+            sock.close()
+            thread.join(timeout=5)
+            assert accepted.is_set()
+        finally:
+            listener.close()
+
+    def test_exhausted_retries_reraise_the_original_error(self):
+        port = _free_port()  # nothing listens here
+        started = time.monotonic()
+        with pytest.raises(OSError):
+            connect_with_retry(
+                "127.0.0.1", port, timeout_s=1.0, retries=2, retry_base_s=0.01
+            )
+        # 2 retries at ~10/20 ms: the whole schedule stays fast.
+        assert time.monotonic() - started < 2.0
+
+    def test_zero_retries_fail_immediately(self):
+        port = _free_port()
+        with pytest.raises(OSError):
+            connect_with_retry("127.0.0.1", port, timeout_s=1.0, retries=0)
+
+    def test_client_connects_through_retry_to_real_server(self):
+        """NetClientConnection inherits the retry patience end to end."""
+        gateway = make_gateway()
+        port = _free_port()
+        holder = {}
+
+        def start_late():
+            time.sleep(0.15)
+            holder["server"] = BackgroundServer(
+                gateway, ServerConfig(port=port)
+            ).start()
+
+        thread = threading.Thread(target=start_late, daemon=True)
+        thread.start()
+        try:
+            connection = NetClientConnection("127.0.0.1", port, user=1)
+            connection.ping()
+            connection.close()
+        finally:
+            thread.join(timeout=5)
+            if "server" in holder:
+                holder["server"].stop()
+            gateway.close()

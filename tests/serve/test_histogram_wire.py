@@ -1,0 +1,52 @@
+"""LatencyHistogram wire round-trip (`to_stage_wire`/`from_stage_wire`).
+
+The cluster router merges latency distributions across shard processes,
+which only works if the wire form carries the raw buckets — these tests
+pin that contract.
+"""
+
+from __future__ import annotations
+
+from repro.serve.metrics import _BUCKET_BOUNDS_US, LatencyHistogram
+
+
+def _histogram(samples_us) -> LatencyHistogram:
+    histogram = LatencyHistogram()
+    for micros in samples_us:
+        histogram.observe(micros / 1e6)
+    return histogram
+
+
+class TestStageWire:
+    def test_round_trip_preserves_buckets_and_totals(self):
+        original = _histogram([3, 40, 40, 900, 15_000, 2_000_000])
+        restored = LatencyHistogram.from_stage_wire(original.to_stage_wire())
+        assert restored is not None
+        assert restored.to_stage_wire() == original.to_stage_wire()
+        assert restored.count == original.count
+        assert restored.percentile_us(99) == original.percentile_us(99)
+
+    def test_merge_across_wire_equals_direct_merge(self):
+        """Shipping histograms over STATS must not lose merge fidelity."""
+        left = _histogram([10, 20, 5_000])
+        right = _histogram([1, 1, 400_000])
+        over_wire = LatencyHistogram.from_stage_wire(left.to_stage_wire())
+        over_wire.merge(LatencyHistogram.from_stage_wire(right.to_stage_wire()))
+        direct = _histogram([10, 20, 5_000, 1, 1, 400_000])
+        assert over_wire.to_stage_wire() == direct.to_stage_wire()
+
+    def test_empty_histogram_round_trips(self):
+        restored = LatencyHistogram.from_stage_wire(LatencyHistogram().to_stage_wire())
+        assert restored is not None
+        assert restored.count == 0
+
+    def test_wire_doc_keeps_summary_fields_for_old_readers(self):
+        doc = _histogram([100, 200]).to_stage_wire()
+        for key in ("count", "mean_us", "p50_us", "p95_us", "p99_us", "max_us"):
+            assert key in doc
+        assert len(doc["buckets"]) == len(_BUCKET_BOUNDS_US) + 1
+
+    def test_from_stage_wire_rejects_pre_bucket_documents(self):
+        assert LatencyHistogram.from_stage_wire({"count": 5, "mean_us": 10.0}) is None
+        wrong_width = {"count": 5, "total_s": 0.1, "buckets": [1, 2, 3]}
+        assert LatencyHistogram.from_stage_wire(wrong_width) is None
