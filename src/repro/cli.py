@@ -208,6 +208,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             cache_mode=args.cache,
             verify_cached_decisions=args.verify,
             check_workers=args.check_workers,
+            compile_checks=not args.no_compile,
+            batch_checks=not args.no_batch,
             backend=args.backend,
             db_path=args.db_path,
         ),
@@ -265,6 +267,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         GatewayConfig(
             cache_mode=args.cache,
             check_workers=args.check_workers,
+            compile_checks=not args.no_compile,
+            batch_checks=not args.no_batch,
             backend=args.backend,
             db_path=args.db_path,
         ),
@@ -337,6 +341,9 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         db_path=args.db_path,
         cache_mode=args.cache,
         check_workers=args.check_workers,
+        compile_checks=not args.no_compile,
+        batch_checks=not args.no_batch,
+        shared_db_path=args.shared_db_path,
         exchange=not args.no_exchange,
         audit_dir=args.audit_dir,
         router=RouterConfig(host=args.host, port=args.port),
@@ -656,6 +663,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="checker worker processes for cache misses (0 = in-process)",
     )
+    serve.add_argument(
+        "--no-compile",
+        action="store_true",
+        help="disable the epoch-compiled decision fast path (docs/compilation.md)",
+    )
+    serve.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable batched containment checking for in-process misses",
+    )
     serve.set_defaults(func=cmd_serve_bench)
 
     net = sub.add_parser(
@@ -706,6 +723,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="checker worker processes for shadow-mode checks (0 = in-process)",
     )
+    net.add_argument(
+        "--no-compile",
+        action="store_true",
+        help="disable the epoch-compiled decision fast path (docs/compilation.md)",
+    )
+    net.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable batched containment checking for in-process misses",
+    )
     net.set_defaults(func=cmd_serve)
 
     cluster = sub.add_parser(
@@ -742,6 +769,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write per-shard decision audit JSONL logs into this directory",
     )
+    cluster.add_argument(
+        "--shared-db-path",
+        default=None,
+        help="point every shard at one shared SQLite file (WAL mode; the"
+        " supervisor seeds it once, shards open it read-mostly — see"
+        " docs/cluster.md for the single-writer caveat)",
+    )
+    cluster.add_argument(
+        "--no-compile",
+        action="store_true",
+        help="disable the epoch-compiled decision fast path (docs/compilation.md)",
+    )
+    cluster.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable batched containment checking for in-process misses",
+    )
     cluster.set_defaults(func=cmd_cluster)
 
     shard = sub.add_parser(
@@ -770,6 +814,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     shard.add_argument("--max-in-flight", type=_positive_int, default=16)
     shard.add_argument("--request-timeout", type=float, default=30.0)
+    shard.add_argument(
+        "--no-compile",
+        action="store_true",
+        help="disable the epoch-compiled decision fast path (docs/compilation.md)",
+    )
+    shard.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable batched containment checking for in-process misses",
+    )
     shard.set_defaults(func=cmd_shard)
 
     def admin_common(p):

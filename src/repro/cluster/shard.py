@@ -49,6 +49,8 @@ class ShardSpec:
     db_path: str | None = None
     cache_mode: str = "shared"
     check_workers: int = 0
+    compile_checks: bool = True
+    batch_checks: bool = True
     exchange_host: str = "127.0.0.1"
     exchange_port: int | None = None
     audit_log: str | None = None
@@ -115,6 +117,8 @@ def run_shard(spec: ShardSpec) -> int:
         GatewayConfig(
             cache_mode=spec.cache_mode,
             check_workers=spec.check_workers,
+            compile_checks=spec.compile_checks,
+            batch_checks=spec.batch_checks,
             backend=spec.backend,
             db_path=spec.db_path,
         ),
@@ -193,6 +197,8 @@ def spec_from_args(args) -> ShardSpec:
         db_path=args.db_path,
         cache_mode=args.cache,
         check_workers=args.check_workers,
+        compile_checks=not args.no_compile,
+        batch_checks=not args.no_batch,
         exchange_host=args.exchange_host,
         exchange_port=args.exchange_port,
         audit_log=args.audit_log,

@@ -31,6 +31,32 @@ from repro.cluster.exchange import TemplateBus
 from repro.cluster.router import ClusterRouter, RouterConfig
 
 
+def seed_shared_database(app_name: str, size: int | None, seed: int, db_path: str) -> int:
+    """Seed ``db_path`` once, in-process, before any shard opens it.
+
+    ``make_database`` reopens an already-populated SQLite file without
+    re-seeding, so doing this in the supervisor makes the subsequent
+    per-shard opens pure readers of one WAL-mode file. Returns the row
+    count seeded (or already present).
+    """
+    from repro.workloads import calendar_app, employees, hospital, social
+
+    modules = {
+        "calendar": calendar_app,
+        "hospital": hospital,
+        "employees": employees,
+        "social": social,
+    }
+    app = modules[app_name].make_app()
+    db = app.make_database(
+        size or app.default_size, seed, backend="sqlite", db_path=db_path
+    )
+    try:
+        return db.total_rows()
+    finally:
+        db.close()
+
+
 def _pythonpath_for_child() -> dict[str, str]:
     """The child environment, with this checkout's ``src`` on the path."""
     import repro
@@ -120,7 +146,17 @@ class ShardProcess:
 
 @dataclass(frozen=True)
 class ClusterConfig:
-    """Everything :class:`BackgroundCluster` needs to bring a fleet up."""
+    """Everything :class:`BackgroundCluster` needs to bring a fleet up.
+
+    ``shared_db_path`` points every shard at one SQLite file instead of
+    each shard seeding a private copy: the supervisor seeds the file
+    once in-process (WAL mode, so the shard fleet reads it
+    concurrently), then spawns the shards with ``--backend sqlite
+    --db-path <file>`` — they find the rows already present and skip
+    re-seeding. Writes remain **single-writer**: route all mutations for
+    a table through one shard (or keep the workload read-only); see
+    docs/cluster.md.
+    """
 
     app: str
     shards: int = 2
@@ -128,8 +164,14 @@ class ClusterConfig:
     seed: int = 7
     backend: str | None = None
     db_path: str | None = None
+    #: One SQLite WAL file shared by every shard (implies backend=sqlite).
+    shared_db_path: str | None = None
     cache_mode: str = "shared"
     check_workers: int = 0
+    #: Epoch-compiled decision fast path per shard (docs/compilation.md).
+    compile_checks: bool = True
+    #: Batched in-process containment checking per shard.
+    batch_checks: bool = True
     #: Cross-shard template exchange on/off (the E16 ablation knob).
     exchange: bool = True
     #: Directory for per-shard decision audit JSONL logs (None = off).
@@ -137,6 +179,19 @@ class ClusterConfig:
     request_timeout_s: float = 30.0
     ready_timeout_s: float = 60.0
     router: RouterConfig = field(default_factory=lambda: RouterConfig(health_interval_s=0.5))
+
+    def __post_init__(self) -> None:
+        if self.shared_db_path is not None:
+            if self.db_path is not None:
+                raise ValueError(
+                    "shared_db_path and db_path are mutually exclusive:"
+                    " the shared file is passed to every shard as its db_path"
+                )
+            if self.backend not in (None, "sqlite"):
+                raise ValueError(
+                    f"shared_db_path requires the sqlite backend,"
+                    f" not {self.backend!r}"
+                )
 
 
 class BackgroundCluster:
@@ -206,6 +261,12 @@ class BackgroundCluster:
         config = self.config
         if config.audit_dir is not None:
             Path(config.audit_dir).mkdir(parents=True, exist_ok=True)
+        backend, db_path = config.backend, config.db_path
+        if config.shared_db_path is not None:
+            seed_shared_database(
+                config.app, config.size, config.seed, config.shared_db_path
+            )
+            backend, db_path = "sqlite", config.shared_db_path
         for shard_id in range(config.shards):
             argv = [
                 "--app", config.app,
@@ -218,10 +279,14 @@ class BackgroundCluster:
             ]
             if config.size is not None:
                 argv += ["--size", str(config.size)]
-            if config.backend is not None:
-                argv += ["--backend", config.backend]
-            if config.db_path is not None:
-                argv += ["--db-path", config.db_path]
+            if backend is not None:
+                argv += ["--backend", backend]
+            if db_path is not None:
+                argv += ["--db-path", db_path]
+            if not config.compile_checks:
+                argv += ["--no-compile"]
+            if not config.batch_checks:
+                argv += ["--no-batch"]
             if self.bus is not None:
                 argv += ["--exchange-port", str(self.bus.port)]
             if config.audit_dir is not None:

@@ -18,8 +18,19 @@ constants — same equalities, same distinctness — remains valid, provided:
 * slots whose value collides with a constant appearing in the policy's
   view definitions are pinned (the proof may have used that equality).
 
-Block decisions are not cached: blocking depends on the *absence* of
-helpful trace facts, which a growing trace can invalidate.
+Block decisions are not cached on the classic :meth:`DecisionCache.lookup`
+path: blocking depends on the *absence* of helpful trace facts, which a
+growing trace can invalidate. The **compiled** path (PR 8) does template
+them, guarded: a Block whose fresh check consulted *zero* trace facts
+(``facts_considered == 0``) is stored with the set of relations whose
+facts could have changed the outcome (``guard_relations``), and replayed
+only for requests whose trace still has no facts in those relations — in
+that state the checker's outcome is a pure function of the skeleton, the
+equality partition, and the pinned values, so renaming invariance applies
+exactly as it does for Allows. Fragment blocks (untranslatable
+statements) carry an empty guard and replay unconditionally, since
+translatability is purely structural. See :meth:`lookup_compiled` /
+:meth:`store_block` and docs/compilation.md.
 
 Indexing. Two structures keep the hot paths sublinear at scale:
 
@@ -67,6 +78,13 @@ class _Template:
     #: relations of every trace fact it relied on. Write-driven
     #: invalidation (the serving gateway) evicts by this set.
     tables: frozenset[str] = frozenset()
+    #: Allow templates replay an Allow; Block templates (compiled path
+    #: only) replay a Block while their guard holds.
+    allowed: bool = True
+    #: For Block templates: relations whose trace facts could overturn
+    #: the block. Replay requires the requester's trace to have *no*
+    #: facts in any of them. Empty = unconditional (fragment blocks).
+    guard_relations: frozenset[str] = frozenset()
 
 
 class _SkeletonIndex:
@@ -163,6 +181,11 @@ class DecisionCache:
         #: Skeleton keys visited by invalidate_table — the instrumentation
         #: the O(affected) claim is asserted against.
         self.invalidate_keys_scanned = 0
+        # Compiled-path counters (checker fast path; see lookup_compiled).
+        self.compiled_hits = 0
+        self.compiled_misses = 0
+        self.blocks_stored = 0
+        self.duplicates_skipped = 0
 
     # -- lookup ---------------------------------------------------------------
 
@@ -181,6 +204,8 @@ class DecisionCache:
             partition = _equality_partition(skeleton.values, param_items)
             params = dict(param_items)
             for template in index.candidates(skeleton.values):
+                if not template.allowed:
+                    continue  # Block templates serve only the compiled path.
                 if self._matches(template, skeleton, partition, params, trace):
                     self.hits += 1
                     return Decision(
@@ -193,6 +218,58 @@ class DecisionCache:
         self.misses += 1
         return None
 
+    def lookup_compiled(
+        self,
+        stmt: ast.Select,
+        bindings: Mapping[str, object],
+        trace: Trace | None,
+    ) -> Decision | None:
+        """The checker's compiled fast path: Allow *and* Block templates.
+
+        Unlike :meth:`lookup`, hits are returned ``from_cache=False`` —
+        to the caller they are fresh decisions (the checker would have
+        produced the same one), with ``facts_used`` reconstructed from
+        the trace facts that satisfied the template's fact patterns so
+        downstream generalization/metrics see a checker-shaped decision.
+        """
+        started = time.perf_counter()
+        skeleton = skeletonize(stmt)
+        index = self._index.get(skeleton.statement)
+        if index is not None:
+            param_items = sorted(bindings.items())
+            partition = _equality_partition(skeleton.values, param_items)
+            params = dict(param_items)
+            for template in index.candidates(skeleton.values):
+                if template.allowed:
+                    matched_facts: list[Atom] = []
+                    if self._matches(
+                        template, skeleton, partition, params, trace, matched_facts
+                    ):
+                        self.compiled_hits += 1
+                        return Decision(
+                            allowed=True,
+                            sql=to_sql(stmt),
+                            reason=template.reason,
+                            facts_used=tuple(matched_facts),
+                            duration_s=time.perf_counter() - started,
+                            facts_considered=len(matched_facts),
+                        )
+                    continue
+                if partition != template.equality_pattern:
+                    continue
+                if template.guard_relations and trace is not None:
+                    if trace.relevant_facts(set(template.guard_relations)):
+                        continue  # Guard broken: facts arrived, re-check.
+                self.compiled_hits += 1
+                return Decision(
+                    allowed=False,
+                    sql=to_sql(stmt),
+                    reason=template.reason,
+                    duration_s=time.perf_counter() - started,
+                )
+        self.compiled_misses += 1
+        return None
+
     def _matches(
         self,
         template: _Template,
@@ -200,6 +277,7 @@ class DecisionCache:
         partition: tuple[tuple[int, ...], ...],
         params: dict[str, object],
         trace: Trace | None,
+        collect: list[Atom] | None = None,
     ) -> bool:
         # Pinned values already matched: the discrimination index only
         # yields templates whose pinned slots equal the skeleton's values.
@@ -210,11 +288,20 @@ class DecisionCache:
                 return False
             facts = trace.facts
             for rel, pattern_args in template.fact_patterns:
-                if not any(
-                    _fact_matches(fact, rel, pattern_args, skeleton.values, params)
-                    for fact in facts
-                ):
+                witness = next(
+                    (
+                        fact
+                        for fact in facts
+                        if _fact_matches(
+                            fact, rel, pattern_args, skeleton.values, params
+                        )
+                    ),
+                    None,
+                )
+                if witness is None:
                     return False
+                if collect is not None:
+                    collect.append(witness)
         return True
 
     # -- insertion -------------------------------------------------------------
@@ -245,18 +332,75 @@ class DecisionCache:
             pinned=tuple(pinned),
             equality_pattern=_equality_partition(skeleton.values, param_items),
             fact_patterns=tuple(fact_patterns),
-            reason=decision.reason + " [template]",
+            reason=_template_reason(decision.reason),
             tables=frozenset(tables),
         )
         self._insert_template(template)
 
-    def _insert_template(self, template: _Template) -> None:
-        """Index a ready-made template (shared by store and benchmarks)."""
+    def store_block(
+        self,
+        stmt: ast.Select,
+        bindings: Mapping[str, object],
+        decision: Decision,
+        guard_relations: set[str],
+    ) -> None:
+        """Generalize a fresh *fact-free* Block for the compiled path.
+
+        Only sound when the fresh check consulted zero trace facts
+        (``facts_considered == 0``): then the outcome depends solely on
+        the skeleton, the equality partition, and the pinned values, and
+        injective renaming invariance carries it to any request matching
+        those — provided no facts have since appeared in
+        ``guard_relations`` (enforced at :meth:`lookup_compiled` time).
+        Bindings colliding with structural view constants are skipped
+        (the proof may have used that equality; params are never pinned).
+        """
+        if decision.allowed or decision.from_cache or decision.facts_considered:
+            return
+        param_items = sorted(bindings.items())
+        try:
+            if any(value in self._view_constants for _, value in param_items):
+                return
+        except TypeError:  # unhashable binding value: don't template it
+            return
+        skeleton = skeletonize(stmt)
+        pinned = []
+        for index, value in enumerate(skeleton.values):
+            if not skeleton.generalizable[index] or value in self._view_constants:
+                pinned.append((index, value))
+        tables = {ref.name for ref in stmt.tables()} | guard_relations
+        template = _Template(
+            skeleton_key=skeleton.statement,
+            pinned=tuple(pinned),
+            equality_pattern=_equality_partition(skeleton.values, param_items),
+            fact_patterns=(),
+            reason=_template_reason(decision.reason),
+            tables=frozenset(tables),
+            allowed=False,
+            guard_relations=frozenset(guard_relations),
+        )
+        if self._insert_template(template):
+            self.blocks_stored += 1
+
+    def _insert_template(self, template: _Template) -> bool:
+        """Index a ready-made template (shared by store and benchmarks).
+
+        Exact duplicates are skipped (returns False): the checker's
+        compiled store and the gateway's shared cache are the same object
+        now, so both ends may try to generalize the same decision.
+        """
         index = self._index.setdefault(template.skeleton_key, _SkeletonIndex())
+        slots = tuple(i for i, _ in template.pinned)
+        values = tuple(value for _, value in template.pinned)
+        existing = index.groups.get(slots, {}).get(values, ())
+        if any(current == template for _, current in existing):
+            self.duplicates_skipped += 1
+            return False
         index.add(self._seq, template)
         self._seq += 1
         for table in template.tables:
             self._by_table.setdefault(table, set()).add(template.skeleton_key)
+        return True
 
     # -- invalidation ----------------------------------------------------------
 
@@ -347,6 +491,16 @@ def _equality_partition(
 def _value_key(value: object) -> object:
     # bool is an int subclass; keep them distinct from 0/1.
     return (type(value).__name__, value)
+
+
+def _template_reason(reason: str) -> str:
+    """Tag a reason as template-served, idempotently.
+
+    A compiled hit already carries the " [template]" suffix; when the
+    proxy re-stores that decision into the (unified) cache the tag must
+    not stack.
+    """
+    return reason if reason.endswith(" [template]") else reason + " [template]"
 
 
 def _reference_maps(

@@ -13,12 +13,25 @@ rewriting computes exactly that answer from view contents. Incompleteness
 (the check may block a theoretically-compliant query) comes from the
 homomorphism containment test and from restricting rewritings to
 conjunctive combinations of views — both conservative.
+
+The compiled path (PR 8): hand the checker a
+:class:`~repro.relalg.compile.CompiledPolicy` (built once per policy
+epoch) and a per-epoch skeleton store, and :meth:`check` first tries to
+instantiate a pre-derived decision template — "bind parameters + satisfy
+fact patterns" — falling back to the full containment search only for
+never-seen statement skeletons, whose outcome is then compiled into a
+new template for the rest of the epoch. Decisions are identical either
+way (E17 verifies zero disagreements); only the work per decision
+changes. ``allow_compiled=False`` forces the full path — the gateway's
+``verify_cached_decisions`` mode uses it so verification stays
+independent of the very templates it is auditing.
 """
 
 from __future__ import annotations
 
 import time
 from collections.abc import Mapping
+from typing import TYPE_CHECKING
 
 from repro.enforce.decision import Decision
 from repro.enforce.trace import Trace
@@ -30,6 +43,10 @@ from repro.sqlir import ast
 from repro.sqlir.printer import to_sql
 from repro.util.errors import TranslationError
 
+if TYPE_CHECKING:
+    from repro.enforce.cache import DecisionCache
+    from repro.relalg.compile import CompiledPolicy
+
 
 class ComplianceChecker:
     """Decides allow/block for bound SELECT statements.
@@ -37,6 +54,14 @@ class ComplianceChecker:
     ``history_enabled=False`` disables trace facts — the ablation that
     experiment E1 uses to show Q2 of Example 2.1 being blocked without
     history.
+
+    ``compiled`` switches on the epoch-compiled fast path: view
+    dispatch/instantiation comes from the
+    :class:`~repro.relalg.compile.CompiledPolicy`, and per-skeleton
+    decision templates are served from / stored into ``skeletons`` (a
+    :class:`~repro.enforce.cache.DecisionCache`; the gateway passes its
+    shared epoch store so cross-shard TEMPLATE events seed this same
+    structure, a private one is created when omitted).
     """
 
     def __init__(
@@ -45,15 +70,25 @@ class ComplianceChecker:
         policy: Policy,
         history_enabled: bool = True,
         max_candidates: int = 2000,
+        compiled: "CompiledPolicy | None" = None,
+        skeletons: "DecisionCache | None" = None,
     ):
         self.schema = schema
         self.policy = policy
         self.history_enabled = history_enabled
         self.max_candidates = max_candidates
+        self.compiled = compiled
+        if compiled is not None and skeletons is None:
+            from repro.enforce.cache import DecisionCache
+
+            skeletons = DecisionCache(policy)
+        self.skeletons = skeletons
         # Structural constants from the view definitions ("public", an
         # age bound): worthless as connectivity evidence, since they link
         # every fact mentioning them to every query mentioning them.
-        self._view_constants = policy.constants()
+        self._view_constants = (
+            set(compiled.view_constants) if compiled is not None else policy.constants()
+        )
 
     def translate(self, stmt: ast.Select) -> UCQ | None:
         """The query's UCQ, or None when outside the reasoning fragment."""
@@ -67,26 +102,70 @@ class ComplianceChecker:
         stmt: ast.Select,
         bindings: Mapping[str, object],
         trace: Trace | None = None,
+        allow_compiled: bool = True,
     ) -> Decision:
         """Vet one bound SELECT for the session described by ``bindings``.
 
         ``bindings`` instantiates the policy's parameters (typically
-        ``{"MyUId": user_id}``).
+        ``{"MyUId": user_id}``). ``allow_compiled=False`` bypasses the
+        template fast path *and* suppresses template learning, giving an
+        independent full-path decision (used by cached-decision
+        verification).
         """
+        effective_trace = trace if self.history_enabled else None
+        use_templates = (
+            allow_compiled and self.compiled is not None and self.skeletons is not None
+        )
+        if use_templates:
+            started = time.perf_counter()
+            hit = self.skeletons.lookup_compiled(stmt, bindings, effective_trace)
+            if hit is not None:
+                hit.duration_s = time.perf_counter() - started
+                return hit
+        decision, relevant = self._check_full(stmt, bindings, trace)
+        if use_templates:
+            if decision.allowed:
+                self.skeletons.store(stmt, bindings, decision)
+            else:
+                self.skeletons.store_block(stmt, bindings, decision, relevant)
+        return decision
+
+    def _check_full(
+        self,
+        stmt: ast.Select,
+        bindings: Mapping[str, object],
+        trace: Trace | None,
+    ) -> tuple[Decision, set[str]]:
+        """The full containment path; also returns the relevant-relation
+        set so fact-free Blocks can be templated with the right guard."""
         started = time.perf_counter()
         sql = to_sql(stmt)
         query = self.translate(stmt)
         if query is None:
-            return Decision(
-                allowed=False,
-                sql=sql,
-                reason="query is outside the analyzable fragment",
-                duration_s=time.perf_counter() - started,
+            return (
+                Decision(
+                    allowed=False,
+                    sql=sql,
+                    reason="query is outside the analyzable fragment",
+                    duration_s=time.perf_counter() - started,
+                ),
+                set(),
             )
-        views = self.policy.view_defs(bindings)
+        views = (
+            self.compiled.view_defs(bindings)
+            if self.compiled is not None
+            else self.policy.view_defs(bindings)
+        )
         facts: list[Atom] = []
-        if self.history_enabled and trace is not None:
-            facts = trace.relevant_facts(self._relevant_relations(query, views))
+        relevant: set[str] = set()
+        if self.history_enabled:
+            relevant = (
+                self.compiled.relevant_relations(set(query.relations()))
+                if self.compiled is not None
+                else self._relevant_relations(query, views)
+            )
+            if trace is not None:
+                facts = trace.relevant_facts(relevant)
         rewritings: list[Rewriting] = []
         facts_used: list[Atom] = []
         for disjunct in query.disjuncts:
@@ -99,27 +178,48 @@ class ComplianceChecker:
             else:
                 rewriting = None
             if rewriting is None:
-                return Decision(
-                    allowed=False,
-                    sql=sql,
-                    reason=(
-                        "no equivalent rewriting over policy views"
-                        + (" and trace facts" if facts else "")
+                return (
+                    Decision(
+                        allowed=False,
+                        sql=sql,
+                        reason=(
+                            "no equivalent rewriting over policy views"
+                            + (" and trace facts" if facts else "")
+                        ),
+                        duration_s=time.perf_counter() - started,
+                        facts_considered=len(facts),
                     ),
-                    duration_s=time.perf_counter() - started,
-                    facts_considered=len(facts),
+                    relevant,
                 )
             rewritings.append(rewriting)
-        return Decision(
-            allowed=True,
-            sql=sql,
-            reason="answer is computable from policy views"
-            + (" and trace facts" if any(r.fact_atoms for r in rewritings) else ""),
-            rewritings=tuple(rewritings),
-            facts_used=tuple(facts_used),
-            duration_s=time.perf_counter() - started,
-            facts_considered=len(facts),
+        return (
+            Decision(
+                allowed=True,
+                sql=sql,
+                reason="answer is computable from policy views"
+                + (" and trace facts" if any(r.fact_atoms for r in rewritings) else ""),
+                rewritings=tuple(rewritings),
+                facts_used=tuple(facts_used),
+                duration_s=time.perf_counter() - started,
+                facts_considered=len(facts),
+            ),
+            relevant,
         )
+
+    def check_batch(
+        self,
+        items: list[tuple[ast.Select, Mapping[str, object], Trace | None]],
+    ) -> list[Decision]:
+        """Vet a batch of queued statements, sharing compilation work.
+
+        Items are checked in order against the same epoch artifacts, so
+        the first fresh check of a skeleton immediately templates it and
+        every later same-shaped item in the batch instantiates the
+        template instead of re-running containment — the gateway's
+        :class:`~repro.serve.batch.CheckBatcher` rides this to share
+        canonicalization/constraint-closure work across sessions.
+        """
+        return [self.check(stmt, bindings, trace) for stmt, bindings, trace in items]
 
     def _relevant_relations(self, query: UCQ, views: list[ViewDef]) -> set[str]:
         """Relations whose trace facts could help this query.

@@ -76,6 +76,14 @@ class SqliteBackend(EngineBackend):
             detect_types=sqlite3.PARSE_DECLTYPES,
         )
         self._conn.execute("PRAGMA foreign_keys = ON")
+        if path is not None:
+            # File-backed databases may be shared by a whole shard fleet
+            # (cluster --shared-db-path): WAL lets N readers proceed
+            # under the single writer, and the busy timeout absorbs
+            # seed-time write contention instead of surfacing
+            # "database is locked" immediately.
+            self._conn.execute("PRAGMA journal_mode = WAL")
+            self._conn.execute("PRAGMA busy_timeout = 10000")
         for table_schema in schema.tables.values():
             self._create(table_schema)
         self._conn.commit()

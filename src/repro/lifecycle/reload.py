@@ -58,6 +58,9 @@ class ReloadReport:
     provenance: str
     swap_pause_s: float
     build_s: float
+    #: Seconds spent compiling the policy inside the epoch build (0.0
+    #: when compile_checks is off) — paid pre-swap, never under the lock.
+    compile_s: float
     drained: bool
     sessions_preserved: int
     trace_facts_preserved: int
@@ -66,7 +69,8 @@ class ReloadReport:
         return (
             f"reloaded policy v{self.old_version} → v{self.new_version}"
             f" ({self.provenance}, fingerprint {self.fingerprint}):"
-            f" build {self.build_s * 1e3:.1f} ms,"
+            f" build {self.build_s * 1e3:.1f} ms"
+            f" (compile {self.compile_s * 1e3:.1f} ms),"
             f" swap pause {self.swap_pause_s * 1e6:.0f} µs,"
             f" {self.sessions_preserved} sessions"
             f" / {self.trace_facts_preserved} trace facts preserved,"
@@ -101,6 +105,7 @@ def hot_reload(
         provenance=provenance,
         swap_pause_s=swap_pause_s,
         build_s=build_s,
+        compile_s=epoch.compiled.build_seconds if epoch.compiled is not None else 0.0,
         drained=drained,
         sessions_preserved=len(sessions),
         trace_facts_preserved=sum(len(c.trace.facts) for c in sessions),

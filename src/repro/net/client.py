@@ -50,16 +50,21 @@ def connect_with_retry(
 
     A freshly spawned server (a cluster shard, a test fixture) can lose
     the race against its first client; a raw ``ECONNREFUSED`` there is
-    noise, not a failure. Retries ``retries`` times on any ``OSError``,
-    sleeping ``retry_base_s * 2**attempt`` (capped at ``retry_max_s``)
-    between attempts, then re-raises the final error unchanged so
-    callers still see the familiar exception type.
+    noise, not a failure. Retries ``retries`` times on the transient
+    dial errors only — ``ConnectionError`` (refused/reset/aborted) and
+    ``TimeoutError`` — sleeping ``retry_base_s * 2**attempt`` (capped at
+    ``retry_max_s``) between attempts, then re-raises the final error
+    unchanged so callers still see the familiar exception type.
+    Non-transient ``OSError``\\s (``EAI_NONAME`` for a malformed address,
+    ``ENETUNREACH``, permission errors) are misconfiguration, not races:
+    they propagate on the first attempt instead of burning the whole
+    backoff schedule against an address that can never answer.
     """
     attempt = 0
     while True:
         try:
             return socket.create_connection((host, port), timeout=timeout_s)
-        except OSError:
+        except (ConnectionError, TimeoutError):
             if attempt >= retries:
                 raise
             time.sleep(min(retry_base_s * (2**attempt), retry_max_s))

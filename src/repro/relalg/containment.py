@@ -124,11 +124,18 @@ def _find_mapping(q1: CQ, q2: CQ, closure: ConstraintSet) -> dict[Var, Term] | N
             if not closure.equal(t2, t1):
                 return None
 
-    # Candidate atoms per q2 subgoal, cheapest bucket first.
-    atoms1 = q1.body
+    # Candidate atoms per q2 subgoal, bucketed by relation once (the seed
+    # rescanned q1's whole body per subgoal per candidate); cheapest
+    # bucket first. Bucket order preserves body order, so the search
+    # visits the same candidates in the same sequence as before minus the
+    # relation mismatches match_atom would have rejected.
+    buckets: dict[str, list[Atom]] = {}
+    for atom in q1.body:
+        buckets.setdefault(atom.rel, []).append(atom)
+    empty: list[Atom] = []
     order = sorted(
         range(len(q2.body)),
-        key=lambda i: sum(1 for a in atoms1 if a.rel == q2.body[i].rel),
+        key=lambda i: len(buckets.get(q2.body[i].rel, empty)),
     )
 
     def match_atom(atom2: Atom, atom1: Atom, env: dict[Var, Term]) -> dict[Var, Term] | None:
@@ -163,7 +170,7 @@ def _find_mapping(q1: CQ, q2: CQ, closure: ConstraintSet) -> dict[Var, Term] | N
                     return None
             return env
         atom2 = q2.body[order[position]]
-        for atom1 in atoms1:
+        for atom1 in buckets.get(atom2.rel, empty):
             extension = match_atom(atom2, atom1, env)
             if extension is None:
                 continue

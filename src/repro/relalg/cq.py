@@ -197,7 +197,15 @@ class CQ:
         return found
 
     def relations(self) -> set[str]:
-        return {atom.rel for atom in self.body}
+        # Computed once per (immutable) CQ: the checker asks for a view's
+        # relations on every decision, so the walk is cached on the frozen
+        # instance (idempotent under racing writers — both store the same
+        # frozenset). Callers get a fresh mutable set, as before.
+        cached = getattr(self, "_relations_cache", None)
+        if cached is None:
+            cached = frozenset(atom.rel for atom in self.body)
+            object.__setattr__(self, "_relations_cache", cached)
+        return set(cached)
 
     @property
     def arity(self) -> int:

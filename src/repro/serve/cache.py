@@ -61,6 +61,15 @@ class SharedDecisionCache(DecisionCache):
         with self._lock:
             return super().lookup(stmt, bindings, trace)
 
+    def lookup_compiled(
+        self,
+        stmt: ast.Select,
+        bindings: Mapping[str, object],
+        trace: Trace | None,
+    ) -> Decision | None:
+        with self._lock:
+            return super().lookup_compiled(stmt, bindings, trace)
+
     def store(
         self,
         stmt: ast.Select,
@@ -70,6 +79,19 @@ class SharedDecisionCache(DecisionCache):
         with self._lock:
             before = self.size
             super().store(stmt, bindings, decision)
+            if self.size > before:
+                self.stores += 1
+
+    def store_block(
+        self,
+        stmt: ast.Select,
+        bindings: Mapping[str, object],
+        decision: Decision,
+        guard_relations: set[str],
+    ) -> None:
+        with self._lock:
+            before = self.size
+            super().store_block(stmt, bindings, decision, guard_relations)
             if self.size > before:
                 self.stores += 1
 
@@ -95,4 +117,8 @@ class SharedDecisionCache(DecisionCache):
                 "misses": self.misses,
                 "hit_rate": self.hit_rate,
                 "invalidations": self.invalidations,
+                "compiled_hits": self.compiled_hits,
+                "compiled_misses": self.compiled_misses,
+                "blocks_stored": self.blocks_stored,
+                "duplicates_skipped": self.duplicates_skipped,
             }

@@ -55,6 +55,8 @@ from repro.engine.database import Database
 from repro.engine.executor import Result
 from repro.policy.policy import Policy
 from repro.relalg import memo
+from repro.relalg.compile import CompiledPolicy, compile_policy
+from repro.serve.batch import CheckBatcher
 from repro.serve.cache import SharedDecisionCache
 from repro.serve.metrics import GatewayMetrics, MetricsSnapshot
 from repro.serve.pool import CheckerPool, CheckerPoolError
@@ -79,6 +81,15 @@ class GatewayConfig:
     fall back to in-process checking transparently (counted as
     ``pool_fallbacks`` in the metrics).
 
+    ``compile_checks`` (default on) builds a
+    :class:`~repro.relalg.compile.CompiledPolicy` and a per-epoch
+    skeleton store once per :class:`PolicyEpoch`, turning repeat-shape
+    cache-miss checks into template instantiation (docs/compilation.md).
+    ``batch_checks`` (default on) additionally funnels in-process miss
+    checks through a :class:`~repro.serve.batch.CheckBatcher` so
+    concurrent sessions share per-batch compilation work; it is inert
+    when ``check_workers`` > 0 (the pool already parallelizes misses).
+
     ``backend`` / ``db_path`` are *declarative*: they record which
     storage backend this deployment expects (and, for path-capable
     backends, where its file lives) so deployment configs can travel as
@@ -95,6 +106,8 @@ class GatewayConfig:
     decision_log_cap: int = 256
     check_workers: int = 0
     check_timeout_s: float = 60.0
+    compile_checks: bool = True
+    batch_checks: bool = True
     backend: str | None = None
     db_path: str | None = None
 
@@ -126,12 +139,35 @@ class PolicyEpoch:
         self.version = version
         self.policy = policy
         self.provenance = provenance
+        # Compiled artifacts are built here — before the epoch is
+        # installed — so a hot reload pays compilation pre-swap and the
+        # install stays a pointer assignment (E17's rebuild-cost table).
+        self.compiled: CompiledPolicy | None = (
+            compile_policy(db.schema, policy) if config.compile_checks else None
+        )
+        #: The per-epoch skeleton store (compiled decision templates).
+        #: Unified with the shared decision cache below: in shared cache
+        #: mode they are the *same object*, so cross-shard TEMPLATE
+        #: events (repro.cluster.exchange stores into shared_cache) seed
+        #: compiled skeletons too, and write invalidation covers both.
+        self.skeletons: SharedDecisionCache | None = (
+            SharedDecisionCache(policy) if self.compiled is not None else None
+        )
         self.checker = ComplianceChecker(
-            db.schema, policy, history_enabled=config.history_enabled
+            db.schema,
+            policy,
+            history_enabled=config.history_enabled,
+            compiled=self.compiled,
+            skeletons=self.skeletons,
         )
-        self.shared_cache: SharedDecisionCache | None = (
-            SharedDecisionCache(policy) if config.cache_mode == "shared" else None
-        )
+        if config.cache_mode == "shared":
+            self.shared_cache: SharedDecisionCache | None = (
+                self.skeletons
+                if self.skeletons is not None
+                else SharedDecisionCache(policy)
+            )
+        else:
+            self.shared_cache = None
         # Per-session caches (cache_mode="per-session"), keyed by the
         # session's bindings; created lazily on first decision.
         self._session_caches: dict[tuple, DecisionCache] = {}
@@ -142,8 +178,16 @@ class PolicyEpoch:
                 workers=config.check_workers,
                 history_enabled=config.history_enabled,
                 timeout_s=config.check_timeout_s,
+                compile_checks=config.compile_checks,
             )
             if config.check_workers > 0
+            else None
+        )
+        #: Combining-lock batcher for in-process miss checks (inert with
+        #: a worker pool: pooled checks already run outside this thread).
+        self.batcher: CheckBatcher | None = (
+            CheckBatcher(self.checker, timeout_s=config.check_timeout_s)
+            if config.batch_checks and self.pool is None
             else None
         )
         self._condition = threading.Condition()
@@ -205,10 +249,17 @@ class PolicyEpoch:
             return cache
 
     def caches(self) -> list[DecisionCache]:
-        """Every decision cache of this epoch (for write invalidation)."""
+        """Every decision cache of this epoch (for write invalidation).
+
+        Includes the skeleton store even outside shared cache mode: a
+        write must evict compiled templates (and Block-template guards)
+        exactly like classic decision templates.
+        """
         targets: list[DecisionCache] = []
         if self.shared_cache is not None:
             targets.append(self.shared_cache)
+        if self.skeletons is not None and self.skeletons is not self.shared_cache:
+            targets.append(self.skeletons)
         with self._condition:
             targets.extend(self._session_caches.values())
         return targets
@@ -328,15 +379,23 @@ class GatewayConnection(EnforcementProxy):
                 metrics.count_view_check(atom.rel)
 
     def _verify_cached(self, decision: Decision, bound: ast.Select) -> None:
-        """Replay a cache hit through the uncached checker and compare."""
+        """Replay a cache hit through the uncached checker and compare.
+
+        ``allow_compiled=False``: verification must be independent of
+        the compiled templates (which live in the same unified store the
+        cache hit may have come from), so it always runs the full
+        containment path.
+        """
         trace = self.trace if self.config.history_enabled else None
-        fresh = self._check_fresh(bound, trace)
+        fresh = self._check_fresh(bound, trace, allow_compiled=False)
         self._gateway.metrics.increment("cache_verified")
         if fresh.allowed != decision.allowed:
             self._gateway.metrics.increment("cache_disagreements")
 
-    def _check_fresh(self, bound: ast.Select, trace) -> Decision:
-        """Cache-miss check: pooled when configured, else in-process.
+    def _check_fresh(
+        self, bound: ast.Select, trace, allow_compiled: bool = True
+    ) -> Decision:
+        """Cache-miss check: batched/pooled when configured, else direct.
 
         Always runs against the pinned epoch's checker/pool so the
         decision cannot straddle a reload; the pool-failure fallback uses
@@ -346,12 +405,24 @@ class GatewayConnection(EnforcementProxy):
         if epoch is None:
             return super()._check_fresh(bound, trace)
         if epoch.pool is None:
-            return epoch.checker.check(bound, self.session.bindings, trace)
+            if epoch.batcher is not None and allow_compiled:
+                return epoch.batcher.check(bound, self.session.bindings, trace)
+            return epoch.checker.check(
+                bound, self.session.bindings, trace, allow_compiled=allow_compiled
+            )
         try:
-            return epoch.pool.check(self._pool_token, self.session.bindings, bound, trace)
+            return epoch.pool.check(
+                self._pool_token,
+                self.session.bindings,
+                bound,
+                trace,
+                allow_compiled=allow_compiled,
+            )
         except CheckerPoolError:
             self._gateway.metrics.increment("pool_fallbacks")
-            return epoch.checker.check(bound, self.session.bindings, trace)
+            return epoch.checker.check(
+                bound, self.session.bindings, trace, allow_compiled=allow_compiled
+            )
 
 
 @dataclass(frozen=True)
@@ -576,6 +647,23 @@ class EnforcementGateway:
         if epoch.shared_cache is not None:
             for name, value in epoch.shared_cache.stats().items():
                 snapshot.counters[f"shared_cache_{name}"] = value
+        if epoch.skeletons is not None:
+            # Top-level compiled-path counters (docs/compilation.md); the
+            # cluster router sums these across shards, so numeric only.
+            snapshot.counters["compiled_hits"] = epoch.skeletons.compiled_hits
+            snapshot.counters["compile_misses"] = epoch.skeletons.compiled_misses
+            snapshot.counters["compiled_templates"] = epoch.skeletons.size
+            snapshot.counters["compiled_blocks"] = epoch.skeletons.blocks_stored
+        if epoch.compiled is not None:
+            compiled_stats = epoch.compiled.stats()
+            snapshot.counters["compiled_views"] = compiled_stats["views"]
+            snapshot.counters["compiled_view_def_hits"] = compiled_stats["view_def_hits"]
+            snapshot.counters["compiled_view_def_misses"] = compiled_stats[
+                "view_def_misses"
+            ]
+        if epoch.batcher is not None:
+            for name, value in epoch.batcher.stats().items():
+                snapshot.counters[f"batch_{name}"] = value
         if epoch.pool is not None:
             for name, value in epoch.pool.stats().items():
                 snapshot.counters[f"pool_{name}"] = value

@@ -90,14 +90,27 @@ class _TraceReplica:
         return [fact for fact in self._facts if fact.rel in relations]
 
 
-def _worker_main(conn, schema, policy, history_enabled, max_candidates) -> None:
-    """Worker loop: build the checker once, answer checks until stopped."""
+def _worker_main(
+    conn, schema, policy, history_enabled, max_candidates, compile_checks
+) -> None:
+    """Worker loop: build the checker once, answer checks until stopped.
+
+    With ``compile_checks`` the worker compiles the policy (and grows a
+    private skeleton store) exactly once at spawn — the epoch hands each
+    worker the compiled policy for its whole lifetime, instead of the
+    seed behavior of re-deriving per-check state every time.
+    """
     from repro.enforce.checker import ComplianceChecker
     from repro.relalg import memo
+    from repro.relalg.compile import compile_policy
     from repro.sqlir.parser import parse_select
 
     checker = ComplianceChecker(
-        schema, policy, history_enabled=history_enabled, max_candidates=max_candidates
+        schema,
+        policy,
+        history_enabled=history_enabled,
+        max_candidates=max_candidates,
+        compiled=compile_policy(schema, policy) if compile_checks else None,
     )
     replicas: dict[int, _TraceReplica] = {}
     while True:
@@ -107,7 +120,7 @@ def _worker_main(conn, schema, policy, history_enabled, max_candidates) -> None:
             return
         if message[0] == "stop":
             return
-        _, token, bindings, sql, base, events, use_trace = message
+        _, token, bindings, sql, base, events, use_trace, allow_compiled = message
         replica: _TraceReplica | None = None
         try:
             if use_trace:
@@ -122,14 +135,35 @@ def _worker_main(conn, schema, policy, history_enabled, max_candidates) -> None:
                 # Apply before anything can fail so the reply's cursor is
                 # truthful even when the check itself errors.
                 replica.apply(events)
-            decision = checker.check(parse_select(sql), dict(bindings), replica)
-            reply = ("ok", decision, _applied(replica), memo.memo_stats())
+            decision = checker.check(
+                parse_select(sql), dict(bindings), replica, allow_compiled=allow_compiled
+            )
+            reply = (
+                "ok",
+                decision,
+                _applied(replica),
+                memo.memo_stats(),
+                _compiled_counters(checker),
+            )
         except Exception as exc:  # noqa: BLE001 - shipped back to the parent
             reply = ("err", f"{type(exc).__name__}: {exc}", _applied(replica))
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):
             return
+
+
+def _compiled_counters(checker) -> dict[str, int]:
+    """The worker's compiled-path counters (empty when compilation is off)."""
+    skeletons = checker.skeletons
+    if skeletons is None:
+        return {}
+    return {
+        "compiled_hits": skeletons.compiled_hits,
+        "compiled_misses": skeletons.compiled_misses,
+        "compiled_templates": skeletons.size,
+        "compiled_blocks": skeletons.blocks_stored,
+    }
 
 
 def _applied(replica: _TraceReplica | None) -> int:
@@ -158,6 +192,7 @@ class CheckerPool:
         history_enabled: bool = True,
         max_candidates: int = 2000,
         timeout_s: float = 60.0,
+        compile_checks: bool = True,
     ):
         if workers < 1:
             raise ValueError("CheckerPool needs at least one worker")
@@ -166,6 +201,7 @@ class CheckerPool:
         self._history_enabled = history_enabled
         self._max_candidates = max_candidates
         self._timeout_s = timeout_s
+        self._compile_checks = compile_checks
         self.workers = workers
         self.tasks_dispatched = 0
         self.worker_restarts = 0
@@ -174,9 +210,10 @@ class CheckerPool:
         # Per-(worker index, session token) cursor into the session's
         # trace event log: how many events that worker has applied.
         self._cursors: dict[tuple[int, int], int] = {}
-        # Latest memo counters reported by each worker (monotonic within
-        # a worker's lifetime; summed for the pool-wide view).
+        # Latest memo / compiled-path counters reported by each worker
+        # (monotonic within a worker's lifetime; summed pool-wide).
         self._worker_memo: dict[int, dict[str, int]] = {}
+        self._worker_compiled: dict[int, dict[str, int]] = {}
         self._handles = [self._spawn(index) for index in range(workers)]
         self._idle: list[_WorkerHandle] = list(self._handles)
         self._condition = threading.Condition()
@@ -189,6 +226,7 @@ class CheckerPool:
         bindings: Mapping[str, object],
         stmt: ast.Select,
         trace,
+        allow_compiled: bool = True,
     ) -> Decision:
         """Run one compliance check on a pooled worker.
 
@@ -202,7 +240,7 @@ class CheckerPool:
         sql = to_sql(stmt)
         handle = self._acquire()
         try:
-            return self._dispatch(handle, token, bindings, sql, trace)
+            return self._dispatch(handle, token, bindings, sql, trace, allow_compiled)
         finally:
             self._release(handle)
 
@@ -220,6 +258,9 @@ class CheckerPool:
             for counters in self._worker_memo.values():
                 for name, value in counters.items():
                     flat[f"memo_{name}"] = flat.get(f"memo_{name}", 0) + value
+            for counters in self._worker_compiled.values():
+                for name, value in counters.items():
+                    flat[name] = flat.get(name, 0) + value
         return flat
 
     def close(self) -> None:
@@ -253,6 +294,7 @@ class CheckerPool:
                 self._policy,
                 self._history_enabled,
                 self._max_candidates,
+                self._compile_checks,
             ),
             name=f"checker-worker-{index}",
             daemon=True,
@@ -293,6 +335,7 @@ class CheckerPool:
         with self._condition:
             self.worker_restarts += 1
             self._worker_memo.pop(handle.index, None)
+            self._worker_compiled.pop(handle.index, None)
             for key in [k for k in self._cursors if k[0] == handle.index]:
                 del self._cursors[key]
 
@@ -303,6 +346,7 @@ class CheckerPool:
         bindings: Mapping[str, object],
         sql: str,
         trace,
+        allow_compiled: bool = True,
         retried: bool = False,
     ) -> Decision:
         use_trace = trace is not None
@@ -319,6 +363,7 @@ class CheckerPool:
             base,
             events,
             use_trace,
+            allow_compiled,
         )
         try:
             handle.conn.send(message)
@@ -331,12 +376,16 @@ class CheckerPool:
                 raise CheckerPoolError(
                     f"worker {handle.index} failed twice: {exc}"
                 ) from exc
-            return self._dispatch(handle, token, bindings, sql, trace, retried=True)
+            return self._dispatch(
+                handle, token, bindings, sql, trace, allow_compiled, retried=True
+            )
         if reply[0] == "ok":
-            _, decision, applied, memo_counters = reply
+            _, decision, applied, memo_counters, compiled_counters = reply
             with self._condition:
                 self.tasks_dispatched += 1
                 self._worker_memo[handle.index] = memo_counters
+                if compiled_counters:
+                    self._worker_compiled[handle.index] = compiled_counters
                 if use_trace:
                     self._cursors[(handle.index, token)] = applied
             return decision

@@ -50,3 +50,46 @@ class TestBackgroundCluster:
         assert len(records) >= 3
         assert {record["shard"] for record in records} <= {0, 1}
         assert all(record["allowed"] is True for record in records)
+
+    def test_shared_db_path_serves_one_sqlite_file(self, tmp_path):
+        shared = str(tmp_path / "fleet.db")
+        config = ClusterConfig(
+            app="calendar", shards=2, size=8, shared_db_path=shared
+        )
+        with BackgroundCluster(config) as cluster:
+            for uid in (1, 2):
+                connection = NetClientConnection("127.0.0.1", cluster.port, user=uid)
+                result = connection.query(
+                    "SELECT EId FROM Attendance WHERE UId = ?", [uid]
+                )
+                assert result.columns == ["EId"]
+                connection.close()
+            admin = AdminClient("127.0.0.1", cluster.port)
+            stats = admin.stats()
+            admin.close()
+        # Both shards opened the pre-seeded file (WAL sidecars prove the
+        # journal mode; the supervisor seeded it exactly once).
+        import sqlite3
+
+        conn = sqlite3.connect(shared)
+        assert conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        rows = conn.execute("SELECT COUNT(*) FROM Users").fetchone()[0]
+        conn.close()
+        assert rows > 0
+        assert stats["cluster"]["shard_count"] == 2
+
+    def test_shared_db_path_conflicts_are_rejected(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            ClusterConfig(
+                app="calendar",
+                shared_db_path=str(tmp_path / "a.db"),
+                db_path=str(tmp_path / "b.db"),
+            )
+        with pytest.raises(ValueError, match="sqlite"):
+            ClusterConfig(
+                app="calendar",
+                shared_db_path=str(tmp_path / "a.db"),
+                backend="memory",
+            )

@@ -113,7 +113,12 @@ class SeedReferenceCache:
             reason=decision.reason + " [template]",
             tables=frozenset(tables),
         )
-        self._templates.setdefault(skeleton.statement, []).append(template)
+        bucket = self._templates.setdefault(skeleton.statement, [])
+        # The unified skeleton store dedups exact re-derivations (the
+        # checker's compiled store and the proxy may both generalize the
+        # same decision); the oracle mirrors that so size stays comparable.
+        if template not in bucket:
+            bucket.append(template)
 
     @staticmethod
     def _seed_pattern_of(fact, values, param_items):

@@ -98,11 +98,22 @@ class TestNoTornDecisions:
         """Audit every decision made during a reload storm and re-verify it
         against a fresh checker for the version that claims to have made
         it: with the epoch pinned per decision, the verdicts must agree."""
+        self._run_reload_storm(calendar_pair, GatewayConfig())
+
+    def test_reload_storm_through_the_compiled_batched_path(self, calendar_pair):
+        """Same storm with the decision cache off, so every decision runs
+        the epoch-compiled fast path and the check batcher — the
+        re-verification checkers are template-free, so zero disagreements
+        also means the compiled path never served a stale epoch's
+        template."""
+        self._run_reload_storm(calendar_pair, GatewayConfig(cache_mode="none"))
+
+    def _run_reload_storm(self, calendar_pair, config):
         app, db = calendar_pair
         truth = app.ground_truth_policy()
         without_v2 = reduced_policy(truth)
         policies = {1: truth}
-        gateway = EnforcementGateway(db, truth, GatewayConfig())
+        gateway = EnforcementGateway(db, truth, config)
         audits = []
         audit_lock = threading.Lock()
 
@@ -167,6 +178,48 @@ class TestNoTornDecisions:
             if fresh.allowed != record.allowed:
                 torn += 1
         assert torn == 0
+
+
+class TestCompiledEpochIsolation:
+    """Per-skeleton templates are epoch artifacts: a swap must orphan them."""
+
+    def test_allow_template_does_not_survive_a_narrowing_reload(self, calendar_pair):
+        app, db = calendar_pair
+        gateway = EnforcementGateway(db, app.ground_truth_policy(), GatewayConfig())
+        try:
+            connection = gateway.connect(2)
+            # Learn the template, then hit it, under v1 (V3 allows this).
+            connection.query("SELECT Name FROM Users WHERE UId = 2")
+            connection.query("SELECT Name FROM Users WHERE UId = 2")
+            assert gateway.snapshot().counters["compiled_templates"] >= 1
+            hot_reload(
+                gateway, reduced_policy(app.ground_truth_policy(), drop="V3"),
+                version=2,
+            )
+            # The v1 allow template must not answer under v2.
+            with pytest.raises(PolicyViolation):
+                gateway.connect(3, fresh=True).query(
+                    "SELECT Name FROM Users WHERE UId = 3"
+                )
+        finally:
+            gateway.close()
+
+    def test_block_template_does_not_survive_a_widening_reload(self, calendar_pair):
+        app, db = calendar_pair
+        narrow = reduced_policy(app.ground_truth_policy(), drop="V3")
+        gateway = EnforcementGateway(db, narrow, GatewayConfig())
+        try:
+            with pytest.raises(PolicyViolation):
+                gateway.connect(2).query("SELECT Name FROM Users WHERE UId = 2")
+            assert gateway.snapshot().counters["compiled_blocks"] >= 1
+            hot_reload(gateway, app.ground_truth_policy(), version=2)
+            # The v1 Block template is gone; v2's full check allows.
+            rows = gateway.connect(3, fresh=True).query(
+                "SELECT Name FROM Users WHERE UId = 3"
+            )
+            assert rows is not None
+        finally:
+            gateway.close()
 
 
 class TestLifecycleManager:

@@ -59,6 +59,41 @@ class TestConnectWithRetry:
         with pytest.raises(OSError):
             connect_with_retry("127.0.0.1", port, timeout_s=1.0, retries=0)
 
+    def test_malformed_address_fails_fast_without_retrying(self, monkeypatch):
+        """gaierror (name resolution) is misconfiguration, not a race:
+        one attempt, no backoff sleeps, error type preserved."""
+        attempts = []
+
+        def refuse_resolution(address, timeout=None):
+            attempts.append(address)
+            raise socket.gaierror(socket.EAI_NONAME, "Name or service not known")
+
+        monkeypatch.setattr(socket, "create_connection", refuse_resolution)
+        started = time.monotonic()
+        with pytest.raises(socket.gaierror):
+            connect_with_retry(
+                "no-such-host.invalid", 1, timeout_s=1.0, retries=4, retry_base_s=0.2
+            )
+        assert len(attempts) == 1
+        # No retry schedule was consumed (4 retries at 0.2s base would
+        # have slept well over a second).
+        assert time.monotonic() - started < 0.2
+
+    def test_transient_connection_errors_still_retry(self, monkeypatch):
+        attempts = []
+
+        def refuse_then_accept(address, timeout=None):
+            attempts.append(address)
+            if len(attempts) < 3:
+                raise ConnectionRefusedError("nobody home yet")
+            return object()  # stands in for the socket
+
+        monkeypatch.setattr(socket, "create_connection", refuse_then_accept)
+        assert connect_with_retry(
+            "127.0.0.1", 1, timeout_s=1.0, retries=4, retry_base_s=0.001
+        ) is not None
+        assert len(attempts) == 3
+
     def test_client_connects_through_retry_to_real_server(self):
         """NetClientConnection inherits the retry patience end to end."""
         gateway = make_gateway()

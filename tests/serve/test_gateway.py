@@ -234,3 +234,87 @@ class TestProxyConfigCompat:
         assert proxy.stats.allowed == 12
         newest = proxy.stats.decisions[-1]
         assert newest.allowed
+
+
+class TestCompiledGateway:
+    """GatewayConfig.compile_checks / batch_checks wiring and counters."""
+
+    def test_snapshot_exposes_compiled_and_batch_counters(
+        self, calendar_db, calendar_policy
+    ):
+        gateway = EnforcementGateway(
+            calendar_db, calendar_policy, GatewayConfig(cache_mode="none")
+        )
+        try:
+            connection = gateway.connect(1)
+            connection.query("SELECT EId FROM Attendance WHERE UId = 1")
+            connection.query("SELECT EId FROM Attendance WHERE UId = 1")
+            counters = gateway.snapshot().counters
+            assert counters["compiled_hits"] >= 1
+            assert counters["compile_misses"] >= 1
+            assert counters["compiled_templates"] >= 1
+            assert counters["compiled_views"] >= 1
+            assert counters["batch_checks"] >= 2
+            assert counters["batch_size_1"] >= 2
+        finally:
+            gateway.close()
+
+    def test_compile_checks_off_reverts_to_the_generic_path(
+        self, calendar_db, calendar_policy
+    ):
+        gateway = EnforcementGateway(
+            calendar_db,
+            calendar_policy,
+            GatewayConfig(cache_mode="none", compile_checks=False, batch_checks=False),
+        )
+        try:
+            connection = gateway.connect(1)
+            connection.query("SELECT EId FROM Attendance WHERE UId = 1")
+            counters = gateway.snapshot().counters
+            assert "compiled_hits" not in counters
+            assert "batch_checks" not in counters
+        finally:
+            gateway.close()
+
+    def test_verification_stays_independent_of_templates(
+        self, calendar_db, calendar_policy
+    ):
+        # verify_cached_decisions re-checks cache hits with
+        # allow_compiled=False: the verifying decision must come from the
+        # full path, so template counters stay untouched by verification.
+        gateway = EnforcementGateway(
+            calendar_db, calendar_policy, GatewayConfig(verify_cached_decisions=True)
+        )
+        try:
+            connection = gateway.connect(1)
+            connection.query("SELECT EId FROM Attendance WHERE UId = 1")
+            hits_after_miss = gateway.snapshot().counters["compiled_hits"]
+            connection.query("SELECT EId FROM Attendance WHERE UId = 1")  # cache hit
+            counters = gateway.snapshot().counters
+            assert counters["compiled_hits"] == hits_after_miss
+            assert gateway.metrics.counter("cache_disagreements") == 0
+        finally:
+            gateway.close()
+
+    def test_compiled_templates_agree_with_cache_templates(
+        self, calendar_db, calendar_policy
+    ):
+        # Same statement through a cache-off compiled gateway and a
+        # cache-on uncompiled gateway: identical verdicts either way.
+        compiled = EnforcementGateway(
+            calendar_db, calendar_policy, GatewayConfig(cache_mode="none")
+        )
+        generic = EnforcementGateway(
+            calendar_db, calendar_policy, GatewayConfig(compile_checks=False)
+        )
+        try:
+            for gateway in (compiled, generic):
+                connection = gateway.connect(1)
+                assert connection.query("SELECT EId FROM Attendance WHERE UId = 1") is not None
+                with pytest.raises(PolicyViolation):
+                    connection.query("SELECT * FROM Events WHERE EId = 99")
+                with pytest.raises(PolicyViolation):
+                    connection.query("SELECT * FROM Events WHERE EId = 99")
+        finally:
+            compiled.close()
+            generic.close()

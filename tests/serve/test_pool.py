@@ -134,6 +134,62 @@ class TestPooledDecisionsAgree:
         assert pool._cursors[(0, 5)] == len(trace.events)
 
 
+class TestPooledCompilation:
+    """Workers compile the policy at spawn and template their own decisions."""
+
+    def test_repeat_checks_hit_worker_templates(self, pool, calendar_schema, calendar_policy):
+        stmt = bound("SELECT EId FROM Attendance WHERE UId = ?", [1])
+        first = pool.check(1, {"MyUId": 1}, stmt, None)
+        second = pool.check(1, {"MyUId": 1}, stmt, None)
+        assert first.allowed and second.allowed
+        stats = pool.stats()
+        assert stats["compiled_hits"] >= 1
+        assert stats["compiled_templates"] >= 1
+        # The templated decision agrees with an in-process full check.
+        local = ComplianceChecker(calendar_schema, calendar_policy).check(
+            stmt, {"MyUId": 1}
+        )
+        assert second.allowed == local.allowed
+
+    def test_allow_compiled_false_is_honored_across_the_wire(self, pool):
+        stmt = bound("SELECT EId FROM Attendance WHERE UId = ?", [1])
+        pool.check(1, {"MyUId": 1}, stmt, None)  # learns the template
+        hits_before = pool.stats()["compiled_hits"]
+        verify = pool.check(1, {"MyUId": 1}, stmt, None, allow_compiled=False)
+        assert verify.allowed
+        assert pool.stats()["compiled_hits"] == hits_before
+
+    def test_uncompiled_pool_has_no_template_counters(
+        self, calendar_schema, calendar_policy
+    ):
+        pool = CheckerPool(
+            calendar_schema, calendar_policy, workers=1, compile_checks=False
+        )
+        try:
+            stmt = bound("SELECT EId FROM Attendance WHERE UId = ?", [1])
+            pool.check(1, {"MyUId": 1}, stmt, None)
+            pool.check(1, {"MyUId": 1}, stmt, None)
+            assert "compiled_hits" not in pool.stats()
+        finally:
+            pool.close()
+
+    def test_pooled_gateway_surfaces_compiled_counters(self, calendar_policy):
+        db = calendar_app.make_database(size=10, seed=3)
+        gateway = EnforcementGateway(
+            db,
+            calendar_policy,
+            GatewayConfig(cache_mode="none", check_workers=1),
+        )
+        try:
+            connection = gateway.connect(1)
+            connection.query("SELECT EId FROM Attendance WHERE UId = 1")
+            connection.query("SELECT EId FROM Attendance WHERE UId = 1")
+            counters = gateway.snapshot().counters
+            assert counters["pool_compiled_hits"] >= 1
+        finally:
+            gateway.close()
+
+
 class TestFailureContainment:
     def test_worker_error_raises_and_resyncs_cursor(self, pool):
         trace = Trace()
