@@ -34,7 +34,13 @@ shard *subprocesses* behind a real :class:`ClusterRouter`:
    shard, zero may disagree.
 
 ``E16_QUICK=1`` shrinks the fleet and stream for CI smoke runs (and is
-what the CI cluster-smoke leg runs). Marked ``slow``.
+what the CI cluster-smoke leg runs). ``E16_MISS_HEAVY=1`` is the
+``--miss-heavy`` mode: shards run with ``--cache none`` so every
+decision is a fresh compliance check and E16c measures how *checker
+CPU* spreads across the fleet, not how a shared cache absorbs it — the
+multi-core rerun the ROADMAP asks for. Its scaling table records as
+``E16c-miss-heavy`` instead of overwriting the cached-mode TSV. Marked
+``slow``.
 """
 
 import json
@@ -61,6 +67,7 @@ from repro.workloads import calendar_app
 pytestmark = pytest.mark.slow
 
 QUICK = os.environ.get("E16_QUICK", "") not in ("", "0")
+MISS_HEAVY = os.environ.get("E16_MISS_HEAVY", "") not in ("", "0")
 
 #: Shard database parameters — every shard, and every local replica this
 #: benchmark compares against, must be built from the same (size, seed).
@@ -222,22 +229,26 @@ def exchange_ablation(shards: int, users):
 # --------------------------------------------------------------------------
 
 
-def scaling(shard_counts, n_requests: int):
+def scaling(shard_counts, n_requests: int, cache_mode: str = "shared"):
     app, db, _ = make_replica()
     requests = calendar_app.request_stream(db, random.Random(23), n_requests)
     cores = os.cpu_count() or 1
     rows = []
     throughputs = {}
     for shards in shard_counts:
-        config = ClusterConfig(app="calendar", shards=shards, size=SIZE, seed=SEED)
+        config = ClusterConfig(
+            app="calendar", shards=shards, size=SIZE, seed=SEED,
+            cache_mode=cache_mode,
+        )
         with BackgroundCluster(config) as cluster:
             client = NetGatewayClient("127.0.0.1", cluster.port)
             report = WorkloadDriver(app, client, workers=8).run(requests)
             client.close()
         throughputs[shards] = report.throughput_rps
         rows.append(
-            (shards, cores, n_requests, report.sessions, report.completed,
-             report.aborted, report.errors, round(report.throughput_rps, 1),
+            (shards, cores, cache_mode, n_requests, report.sessions,
+             report.completed, report.aborted, report.errors,
+             round(report.throughput_rps, 1),
              round(report.throughput_rps / throughputs[shard_counts[0]], 2))
         )
     return rows, throughputs
@@ -255,12 +266,21 @@ def rolling_reload(shards: int, reloads: int, audit_dir: str):
                            audit_dir=audit_dir)
     stop = threading.Event()
     errors: list = []
+    executes = [0, 0, 0]  # prepared EXECUTEs completed, per traffic thread
 
-    def traffic(uid: int) -> None:
+    def traffic(slot: int, uid: int) -> None:
+        # Each principal drives its hot shape through a *prepared handle*:
+        # every reload flips the policy version under the handle, so the
+        # loop crosses the stale-refuse -> re-prepare -> retry path on
+        # every swap while the audit stream records the decisions.
         try:
             connection = NetClientConnection("127.0.0.1", port, user=uid)
+            prepared = connection.prepare(
+                "SELECT EId FROM Attendance WHERE UId = ?"
+            )
             while not stop.is_set():
-                connection.query("SELECT EId FROM Attendance WHERE UId = ?", [uid])
+                connection.execute(prepared, [uid])
+                executes[slot] += 1
                 try:
                     connection.query("SELECT * FROM Events WHERE EId = 2")
                 except PolicyViolation:
@@ -271,7 +291,10 @@ def rolling_reload(shards: int, reloads: int, audit_dir: str):
 
     with BackgroundCluster(config) as cluster:
         port = cluster.port
-        threads = [threading.Thread(target=traffic, args=(uid,)) for uid in (1, 2, 3)]
+        threads = [
+            threading.Thread(target=traffic, args=(slot, uid))
+            for slot, uid in enumerate((1, 2, 3))
+        ]
         for thread in threads:
             thread.start()
         admin = AdminClient("127.0.0.1", port)
@@ -290,6 +313,8 @@ def rolling_reload(shards: int, reloads: int, audit_dir: str):
             stop.set()
             for thread in threads:
                 thread.join(timeout=30)
+        with AdminClient("127.0.0.1", port) as admin:
+            net_counters = admin.stats()["net"]["counters"]
         audit_paths = cluster.audit_paths()
 
     records = read_audits(audit_paths)
@@ -309,11 +334,17 @@ def rolling_reload(shards: int, reloads: int, audit_dir: str):
         if fresh.allowed != record["allowed"]:
             torn += 1
     versions_seen = sorted({record["policy_version"] for record in records})
+    prepared_stats = {
+        "executes": sum(executes),
+        "prepared": net_counters.get("statements_prepared", 0),
+        "stale": net_counters.get("prepared_stale", 0),
+    }
     rows = [
         (shards, reloads, len(records), torn, len(errors),
-         f"{versions_seen[0]}..{versions_seen[-1]}" if versions_seen else "-")
+         f"{versions_seen[0]}..{versions_seen[-1]}" if versions_seen else "-",
+         prepared_stats["executes"], prepared_stats["stale"])
     ]
-    return rows, torn, len(errors), len(records)
+    return rows, torn, len(errors), len(records), prepared_stats
 
 
 # --------------------------------------------------------------------------
@@ -329,12 +360,16 @@ def test_e16_cluster(benchmark, capsys, tmp_path):
     reload_shards = 2 if QUICK else 4
     reloads = 3 if QUICK else 6
 
+    scale_cache_mode = "none" if MISS_HEAVY else "shared"
+
     fidelity_rows, disagreements, cluster_report, single_report = fidelity(
         fidelity_shards, fidelity_requests, str(tmp_path / "fidelity")
     )
     ablation_rows, ablation = exchange_ablation(ablation_shards, ablation_users)
-    scaling_rows, throughputs = scaling(scale_counts, scale_requests)
-    reload_rows, torn, traffic_errors, audited = rolling_reload(
+    scaling_rows, throughputs = scaling(
+        scale_counts, scale_requests, cache_mode=scale_cache_mode
+    )
+    reload_rows, torn, traffic_errors, audited, prepared_stats = rolling_reload(
         reload_shards, reloads, str(tmp_path / "reload")
     )
 
@@ -367,16 +402,19 @@ def test_e16_cluster(benchmark, capsys, tmp_path):
             ablation_rows,
         )
         print_table(
-            "E16c",
-            "workload throughput vs shard count",
-            ["shards", "cores", "requests", "sessions", "completed",
+            "E16c-miss-heavy" if MISS_HEAVY else "E16c",
+            "workload throughput vs shard count"
+            + (" (miss-heavy: --cache none, checker CPU dominates)"
+               if MISS_HEAVY else ""),
+            ["shards", "cores", "cache", "requests", "sessions", "completed",
              "aborted", "errors", "req/s", "speedup"],
             scaling_rows,
         )
         print_table(
             "E16d",
             "rolling reload under load (audited decisions re-verified)",
-            ["shards", "reloads", "decisions", "torn", "errors", "versions"],
+            ["shards", "reloads", "decisions", "torn", "errors", "versions",
+             "prepared execs", "stale refusals"],
             reload_rows,
         )
 
@@ -399,7 +437,13 @@ def test_e16_cluster(benchmark, capsys, tmp_path):
     # contending for one core.
     for shards in scale_counts:
         assert throughputs[shards] > 0.3 * throughputs[scale_counts[0]]
-    # E16d: zero torn-version decisions across every shard's audit.
+    # E16d: zero torn-version decisions across every shard's audit — and
+    # the prepared handles actually *lived through* the rolling reload:
+    # traffic executed through handles the whole run, every swap
+    # stale-refused the live ones, and the transparent re-prepares kept
+    # the decision stream torn-free (the cluster-smoke CI gate).
     assert torn == 0
     assert traffic_errors == 0
     assert audited > 0
+    assert prepared_stats["executes"] > 0
+    assert prepared_stats["stale"] > 0

@@ -284,6 +284,13 @@ class ClusterRouter:
                     if done:
                         return
                 else:
+                    # Covers every session verb — QUERY/EXEC and also
+                    # PREPARE/EXECUTE: prepared handles live in the home
+                    # shard's per-connection table, so they only make
+                    # sense after HELLO. Post-HELLO the byte splice makes
+                    # EXECUTE stickiness automatic: every frame of the
+                    # session, prepared or not, reaches the shard that
+                    # vended the handle.
                     await self._reply(
                         writer,
                         _error(

@@ -194,12 +194,26 @@ class DecisionCache:
         stmt: ast.Select,
         bindings: Mapping[str, object],
         trace: Trace | None,
+        *,
+        skeleton: Skeleton | None = None,
+        param_items: list[tuple[str, object]] | None = None,
     ) -> Decision | None:
+        """Replay a cached Allow for ``stmt``, or None.
+
+        ``skeleton`` (when the caller holds a
+        :class:`~repro.sqlir.prepared.PreparedPlan`) must be exactly
+        ``skeletonize(stmt)``; passing it skips the per-request AST
+        traversal. ``param_items`` is the session's pre-sorted
+        ``sorted(bindings.items())`` — a per-session invariant callers
+        hoist instead of re-sorting per lookup.
+        """
         started = time.perf_counter()
-        skeleton = skeletonize(stmt)
+        if skeleton is None:
+            skeleton = skeletonize(stmt)
         index = self._index.get(skeleton.statement)
         if index is not None:
-            param_items = sorted(bindings.items())
+            if param_items is None:
+                param_items = sorted(bindings.items())
             # Computed once per lookup; every candidate shares them.
             partition = _equality_partition(skeleton.values, param_items)
             params = dict(param_items)
@@ -223,6 +237,9 @@ class DecisionCache:
         stmt: ast.Select,
         bindings: Mapping[str, object],
         trace: Trace | None,
+        *,
+        skeleton: Skeleton | None = None,
+        param_items: list[tuple[str, object]] | None = None,
     ) -> Decision | None:
         """The checker's compiled fast path: Allow *and* Block templates.
 
@@ -231,12 +248,15 @@ class DecisionCache:
         produced the same one), with ``facts_used`` reconstructed from
         the trace facts that satisfied the template's fact patterns so
         downstream generalization/metrics see a checker-shaped decision.
+        ``skeleton``/``param_items`` follow :meth:`lookup`.
         """
         started = time.perf_counter()
-        skeleton = skeletonize(stmt)
+        if skeleton is None:
+            skeleton = skeletonize(stmt)
         index = self._index.get(skeleton.statement)
         if index is not None:
-            param_items = sorted(bindings.items())
+            if param_items is None:
+                param_items = sorted(bindings.items())
             partition = _equality_partition(skeleton.values, param_items)
             params = dict(param_items)
             for template in index.candidates(skeleton.values):
@@ -311,11 +331,19 @@ class DecisionCache:
         stmt: ast.Select,
         bindings: Mapping[str, object],
         decision: Decision,
-    ) -> None:
-        """Generalize and store a fresh Allow decision."""
+        *,
+        skeleton: Skeleton | None = None,
+    ) -> bool:
+        """Generalize and store a fresh Allow decision.
+
+        Returns True when a new template was actually inserted, so
+        wrappers (the striped shared cache) can count stores without
+        re-reading the cache size under a lock.
+        """
         if not decision.allowed or decision.from_cache:
-            return
-        skeleton = skeletonize(stmt)
+            return False
+        if skeleton is None:
+            skeleton = skeletonize(stmt)
         param_items = sorted(bindings.items())
         pinned = []
         for index, value in enumerate(skeleton.values):
@@ -335,7 +363,7 @@ class DecisionCache:
             reason=_template_reason(decision.reason),
             tables=frozenset(tables),
         )
-        self._insert_template(template)
+        return self._insert_template(template)
 
     def store_block(
         self,
@@ -343,7 +371,9 @@ class DecisionCache:
         bindings: Mapping[str, object],
         decision: Decision,
         guard_relations: set[str],
-    ) -> None:
+        *,
+        skeleton: Skeleton | None = None,
+    ) -> bool:
         """Generalize a fresh *fact-free* Block for the compiled path.
 
         Only sound when the fresh check consulted zero trace facts
@@ -356,14 +386,15 @@ class DecisionCache:
         (the proof may have used that equality; params are never pinned).
         """
         if decision.allowed or decision.from_cache or decision.facts_considered:
-            return
+            return False
         param_items = sorted(bindings.items())
         try:
             if any(value in self._view_constants for _, value in param_items):
-                return
+                return False
         except TypeError:  # unhashable binding value: don't template it
-            return
-        skeleton = skeletonize(stmt)
+            return False
+        if skeleton is None:
+            skeleton = skeletonize(stmt)
         pinned = []
         for index, value in enumerate(skeleton.values):
             if not skeleton.generalizable[index] or value in self._view_constants:
@@ -379,8 +410,10 @@ class DecisionCache:
             allowed=False,
             guard_relations=frozenset(guard_relations),
         )
-        if self._insert_template(template):
-            self.blocks_stored += 1
+        if not self._insert_template(template):
+            return False
+        self.blocks_stored += 1
+        return True
 
     def _insert_template(self, template: _Template) -> bool:
         """Index a ready-made template (shared by store and benchmarks).

@@ -41,6 +41,7 @@ from repro.relalg.rewrite import Rewriting, ViewDef, find_equivalent_rewriting
 from repro.relalg.translate import SchemaInfo, translate_select
 from repro.sqlir import ast
 from repro.sqlir.printer import to_sql
+from repro.sqlir.skeleton import Skeleton
 from repro.util.errors import TranslationError
 
 if TYPE_CHECKING:
@@ -103,6 +104,7 @@ class ComplianceChecker:
         bindings: Mapping[str, object],
         trace: Trace | None = None,
         allow_compiled: bool = True,
+        skeleton: Skeleton | None = None,
     ) -> Decision:
         """Vet one bound SELECT for the session described by ``bindings``.
 
@@ -110,7 +112,9 @@ class ComplianceChecker:
         ``{"MyUId": user_id}``). ``allow_compiled=False`` bypasses the
         template fast path *and* suppresses template learning, giving an
         independent full-path decision (used by cached-decision
-        verification).
+        verification). ``skeleton`` is an optional precomputed
+        ``skeletonize(stmt)`` (from a prepared-statement plan) forwarded
+        to the template store so the fast path skips re-skeletonizing.
         """
         effective_trace = trace if self.history_enabled else None
         use_templates = (
@@ -118,16 +122,20 @@ class ComplianceChecker:
         )
         if use_templates:
             started = time.perf_counter()
-            hit = self.skeletons.lookup_compiled(stmt, bindings, effective_trace)
+            hit = self.skeletons.lookup_compiled(
+                stmt, bindings, effective_trace, skeleton=skeleton
+            )
             if hit is not None:
                 hit.duration_s = time.perf_counter() - started
                 return hit
         decision, relevant = self._check_full(stmt, bindings, trace)
         if use_templates:
             if decision.allowed:
-                self.skeletons.store(stmt, bindings, decision)
+                self.skeletons.store(stmt, bindings, decision, skeleton=skeleton)
             else:
-                self.skeletons.store_block(stmt, bindings, decision, relevant)
+                self.skeletons.store_block(
+                    stmt, bindings, decision, relevant, skeleton=skeleton
+                )
         return decision
 
     def _check_full(

@@ -28,6 +28,9 @@ from repro.engine.executor import Result
 from repro.policy.policy import Policy
 from repro.sqlir import ast
 from repro.sqlir.params import bind_parameters
+from repro.sqlir.prepared import PreparedPlan, prepare_plan
+from repro.sqlir.printer import to_sql
+from repro.sqlir.skeleton import Skeleton
 from repro.util.errors import EngineError
 
 
@@ -134,6 +137,10 @@ class EnforcementProxy:
         )
         self.trace = Trace()
         self.stats = ProxyStats.with_cap(base.decision_log_cap)
+        # Per-session invariant, hoisted: the decision cache keys its
+        # equality partitions on sorted binding items, and re-sorting an
+        # immutable mapping on every request is pure hot-path waste.
+        self._param_items = sorted(session.bindings.items())
         self._closed = False
 
     # -- deprecated accessors (pre-ProxyConfig attribute names) -------------------
@@ -165,7 +172,15 @@ class EnforcementProxy:
             return self._execute_write(stmt, args, named)
         bound = bind_parameters(stmt, args, named)
         assert isinstance(bound, ast.Select)
-        decision = self.decide(bound)
+        return self._finish_select(bound, skeleton=None)
+
+    def _finish_select(
+        self, bound: ast.Select, skeleton: Skeleton | None
+    ) -> Result:
+        """Decide, execute, and certify one bound SELECT (shared by the
+        classic and prepared paths; ``skeleton`` is the prepared plan's
+        precomputed skeleton, or None)."""
+        decision = self.decide(bound, skeleton=skeleton)
         if not decision.allowed:
             self.stats.blocked += 1
             if self.config.record_decisions:
@@ -189,6 +204,34 @@ class EnforcementProxy:
         self.trace.record(decision.sql, single, result)
         return result
 
+    # -- prepared statements -------------------------------------------------------
+
+    def prepare(self, sql: str | ast.Statement) -> PreparedPlan:
+        """Hoist this statement's per-shape work; see ``docs/prepared.md``.
+
+        The returned plan is immutable and policy-independent: it may be
+        executed across hot reloads (decisions always come from the
+        current epoch's caches), and one plan may serve many sessions.
+        """
+        stmt = self.db.parse(sql)
+        return prepare_plan(stmt, sql if isinstance(sql, str) else to_sql(stmt))
+
+    def execute_prepared(
+        self,
+        plan: PreparedPlan,
+        args: Sequence[object] = (),
+        named: Mapping[str, object] | None = None,
+    ) -> Result | int:
+        """Execute a prepared plan: no parse, and (for static plans) no
+        per-request skeletonization — the decision itself is unchanged."""
+        if self._closed:
+            raise EngineError("connection is closed")
+        if not plan.is_select:
+            return self._execute_write(plan.statement, args, named)
+        bound = plan.bind(args, named)
+        assert isinstance(bound, ast.Select)
+        return self._finish_select(bound, plan.skeleton_for(args, named))
+
     def query(
         self,
         sql: str | ast.Statement,
@@ -206,8 +249,13 @@ class EnforcementProxy:
 
     # -- decisions ---------------------------------------------------------------
 
-    def decide(self, bound: ast.Select) -> Decision:
-        """Vet a bound SELECT (without executing it)."""
+    def decide(self, bound: ast.Select, skeleton: Skeleton | None = None) -> Decision:
+        """Vet a bound SELECT (without executing it).
+
+        ``skeleton`` is the prepared-statement fast path: a precomputed
+        ``skeletonize(bound)`` that lets the cache probe and template
+        store skip the per-request AST traversal.
+        """
         started = time.perf_counter()
         cache = self._decision_cache()
         # Only offer the trace to the cache when this session's checker
@@ -215,7 +263,13 @@ class EnforcementProxy:
         # could allow what the no-history checker would block.
         trace = self.trace if self.config.history_enabled else None
         if cache is not None:
-            cached = cache.lookup(bound, self.session.bindings, trace)
+            cached = cache.lookup(
+                bound,
+                self.session.bindings,
+                trace,
+                skeleton=skeleton,
+                param_items=self._param_items,
+            )
             if cached is not None:
                 self.stats.cache_hits += 1
                 seconds = time.perf_counter() - started
@@ -223,9 +277,9 @@ class EnforcementProxy:
                 self._record_stage("check", seconds)
                 self._observe_decision(cached, bound)
                 return cached
-        decision = self._check_fresh(bound, trace)
+        decision = self._check_fresh(bound, trace, skeleton=skeleton)
         if cache is not None:
-            cache.store(bound, self.session.bindings, decision)
+            cache.store(bound, self.session.bindings, decision, skeleton=skeleton)
         seconds = time.perf_counter() - started
         self.stats.check_seconds += seconds
         self._record_stage("check", seconds)
@@ -258,13 +312,20 @@ class EnforcementProxy:
         """
         return self.config.cache
 
-    def _check_fresh(self, bound: ast.Select, trace: Trace | None) -> Decision:
+    def _check_fresh(
+        self,
+        bound: ast.Select,
+        trace: Trace | None,
+        skeleton: Skeleton | None = None,
+    ) -> Decision:
         """Run the full compliance check for a cache miss.
 
         The gateway overrides this to offload onto a
         :class:`~repro.serve.pool.CheckerPool` when one is configured.
         """
-        return self.checker.check(bound, self.session.bindings, trace)
+        return self.checker.check(
+            bound, self.session.bindings, trace, skeleton=skeleton
+        )
 
     def _observe_decision(self, decision: Decision, bound: ast.Select) -> None:
         """Decision observation point; no-op outside the gateway."""

@@ -103,6 +103,106 @@ class Trace:
         return Var(f"{_NULL_PREFIX}{self._null_counter}")
 
     def _extract_facts(self, query: CQ, result: Result) -> list[Atom]:
+        """Facts certified by ``result`` under ``query``.
+
+        Semantics are defined by :meth:`_extract_facts_general`: close the
+        query's comparisons together with ``head_var = row value`` per
+        row, then resolve each atom argument to its canonical form. For
+        equality-only queries — every hot-path shape — that per-row
+        closure is wasteful: the *structure* of the resolution (which
+        argument is a fixed constant, which follows a head column, which
+        classes share a labeled null) is row-independent, so it is
+        computed once here and each row only substitutes values and runs
+        the two cheap consistency checks a row can actually fail
+        (row value vs. class constant, and equal head columns).
+        """
+        if any(comp.op != "=" for comp in query.comps):
+            return self._extract_facts_general(query, result)
+        closure = ConstraintSet(query.comps)
+        if not closure.consistent():
+            return []  # every per-row closure would be inconsistent too
+        # Row-independent structure: equivalence classes of head columns,
+        # and a resolution op per atom argument.
+        head_cols: dict[Term, list[int]] = {}
+        for index, term in enumerate(query.head):
+            if isinstance(term, Var):
+                head_cols.setdefault(closure.canon(term), []).append(index)
+        const_checks = [
+            (columns, rep.value)
+            for rep, columns in head_cols.items()
+            if isinstance(rep, Const)
+        ]
+        equal_checks = [
+            columns for rep, columns in head_cols.items()
+            if len(columns) > 1 and not isinstance(rep, Const)
+        ]
+        plan: list[tuple[str, list[tuple[str, object]]]] = []
+        for atom in query.body:
+            ops: list[tuple[str, object]] = []
+            for arg in atom.args:
+                if isinstance(arg, Const):
+                    ops.append(("const", arg))
+                elif isinstance(arg, Var):
+                    rep = closure.canon(arg)
+                    if isinstance(rep, Const):
+                        ops.append(("const", rep))
+                    elif rep in head_cols:
+                        ops.append(("col", head_cols[rep][0]))
+                    else:
+                        # Same null-key rule as the general path: the class
+                        # representative when it is a Var, the argument
+                        # itself otherwise.
+                        ops.append(("null", rep if isinstance(rep, Var) else arg))
+                else:
+                    # A residual param in a bound query should not happen;
+                    # treat it as undetermined (fresh per occurrence).
+                    ops.append(("fresh", None))
+            plan.append((atom.rel, ops))
+
+        def values_equal(a: object, b: object) -> bool:
+            # Mirrors ConstraintSet._union's constant-merge test exactly.
+            return not (a != b or (a is None) != (b is None))
+
+        facts: list[Atom] = []
+        for row in result.rows:
+            if any(
+                not values_equal(row[column], value)
+                for columns, value in const_checks
+                for column in columns
+            ):
+                continue
+            if any(
+                not values_equal(row[columns[0]], row[column])
+                for columns in equal_checks
+                for column in columns[1:]
+            ):
+                continue
+            nulls: dict[object, Var] = {}
+            for rel, ops in plan:
+                resolved: list[Term] = []
+                for kind, payload in ops:
+                    if kind == "const":
+                        resolved.append(payload)  # type: ignore[arg-type]
+                    elif kind == "col":
+                        resolved.append(Const(row[payload]))  # type: ignore[index]
+                    elif kind == "null":
+                        null = nulls.get(payload)
+                        if null is None:
+                            null = self._fresh_null()
+                            nulls[payload] = null
+                        resolved.append(null)
+                    else:
+                        resolved.append(self._fresh_null())
+                facts.append(Atom(rel, tuple(resolved)))
+        return facts
+
+    def _extract_facts_general(self, query: CQ, result: Result) -> list[Atom]:
+        """The reference extraction: one constraint closure per row.
+
+        Kept for queries whose comparisons go beyond equality (order or
+        non-equality constraints can make a row's closure inconsistent in
+        ways the precomputed plan does not model).
+        """
         facts: list[Atom] = []
         head_vars = [
             (index, term)

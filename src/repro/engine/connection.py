@@ -22,6 +22,21 @@ backend they talk to:
 The protocol is ``runtime_checkable`` so tests can assert conformance
 with ``isinstance``; structural typing means none of the implementations
 need to inherit from it.
+
+Prepared statements are an *optional extension* of the contract,
+expressed as the separate :class:`PreparedConnection` protocol —
+``prepare(sql)`` hoists a statement's per-shape work into a reusable
+handle and ``execute_prepared(handle, args, named)`` runs it without
+re-parsing (see ``docs/prepared.md``). It is deliberately not folded
+into :class:`Connection`: ``runtime_checkable`` protocols check by
+attribute presence, and existing third-party connection shims must keep
+passing ``isinstance(conn, Connection)`` without growing new methods.
+The local implementations (``Database``, ``EnforcementProxy``/gateway
+sessions, and the wire client) all satisfy both protocols; the handle
+type differs per implementation (a
+:class:`~repro.sqlir.prepared.PreparedPlan` in-process, a wire handle
+over the network), which is why the extension protocol types it as an
+opaque object.
 """
 
 from __future__ import annotations
@@ -57,4 +72,29 @@ class Connection(Protocol):
 
     def close(self) -> None:
         """Release per-connection state; further use is undefined."""
+        ...  # pragma: no cover - protocol signature
+
+
+@runtime_checkable
+class PreparedConnection(Connection, Protocol):
+    """Optional prepared-statement extension of :class:`Connection`.
+
+    ``prepare`` returns an implementation-specific handle (opaque to the
+    caller); ``execute_prepared`` accepts that handle plus per-request
+    bindings. Implementations guarantee the prepared path is
+    decision-equivalent to ``sql()`` — same allow/block outcome, same
+    rows — it only skips re-doing per-shape work.
+    """
+
+    def prepare(self, sql: str | ast.Statement) -> object:
+        """Hoist per-shape work for one statement into a reusable handle."""
+        ...  # pragma: no cover - protocol signature
+
+    def execute_prepared(
+        self,
+        plan: object,
+        args: Sequence[object] = (),
+        named: Mapping[str, object] | None = None,
+    ) -> Result | int:
+        """Bind and run a prepared handle without re-parsing."""
         ...  # pragma: no cover - protocol signature

@@ -19,6 +19,8 @@ from repro.engine.table import Table
 from repro.sqlir import ast
 from repro.sqlir.params import bind_parameters
 from repro.sqlir.parser import parse_sql
+from repro.sqlir.prepared import PreparedPlan, prepare_plan
+from repro.sqlir.printer import to_sql
 from repro.util.errors import EngineError
 
 
@@ -122,6 +124,35 @@ class Database:
         if not isinstance(result, Result):
             raise EngineError("query() requires a SELECT statement")
         return result
+
+    # -- prepared statements -----------------------------------------------------
+
+    def prepare(self, sql: str | ast.Statement) -> PreparedPlan:
+        """Parse once and hoist the statement's shape analysis.
+
+        The raw database has no checker, so the plan's skeleton is
+        unused here — but :meth:`prepare`/:meth:`execute_prepared` keep
+        the same surface as the enforcement proxy and the wire client,
+        letting application code prepare against any Connection-shaped
+        handle (see ``docs/prepared.md``).
+        """
+        stmt = self.parse(sql)
+        return prepare_plan(stmt, sql if isinstance(sql, str) else to_sql(stmt))
+
+    def execute_prepared(
+        self,
+        plan: PreparedPlan,
+        args: Sequence[object] = (),
+        named: Mapping[str, object] | None = None,
+    ) -> Result | int:
+        """Bind and execute a prepared plan, skipping the parse."""
+        if self._closed:
+            raise EngineError("connection is closed")
+        stmt = plan.statement
+        if isinstance(stmt, ast.CreateTable):
+            self.create_table(Schema.from_create_statements([stmt]).table(stmt.name))
+            return 0
+        return self._backend.execute(plan.bind(args, named))
 
     def parse(self, sql: str | ast.Statement) -> ast.Statement:
         """Parse one statement, memoized per SQL text.

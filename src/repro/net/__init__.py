@@ -9,14 +9,18 @@ needs under heavy traffic: admission control with load shedding,
 per-request deadlines, idle reaping, frame hygiene, graceful drain, and
 a STATS command exposing net + gateway metrics. The blocking client
 (:mod:`repro.net.client`) implements the standard ``Connection``
-protocol so workloads replay over the wire unmodified. See
-``docs/networking.md`` and the E12 benchmark.
+protocol so workloads replay over the wire unmodified, plus the hit-path
+extras: ``prepare``/``execute`` (server-side prepared handles) and
+``pipeline`` (windowed in-flight requests over one socket). See
+``docs/networking.md``, ``docs/prepared.md``, and the E12/E18
+benchmarks.
 """
 
 from repro.net.client import (
     AdminClient,
     NetClientConnection,
     NetGatewayClient,
+    PreparedWireStatement,
     connect_with_retry,
 )
 from repro.net.metrics import NetMetrics
@@ -41,6 +45,7 @@ __all__ = [
     "NetGatewayClient",
     "NetMetrics",
     "NetServer",
+    "PreparedWireStatement",
     "ServerConfig",
     "connect_with_retry",
 ]

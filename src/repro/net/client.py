@@ -71,12 +71,40 @@ def connect_with_retry(
             attempt += 1
 
 
+class PreparedWireStatement:
+    """A server-side prepared handle, as the client sees it.
+
+    Mutable on purpose: when the server reports the handle stale (policy
+    hot-reloaded since PREPARE), the client transparently re-prepares
+    and updates ``handle``/``policy_version`` in place, so callers hold
+    one object across reloads.
+    """
+
+    __slots__ = ("sql", "handle", "select", "policy_version")
+
+    def __init__(self, sql: str, handle: int, select: bool, policy_version: int):
+        self.sql = sql
+        self.handle = handle
+        self.select = select
+        self.policy_version = policy_version
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PreparedWireStatement(handle={self.handle},"
+            f" policy_version={self.policy_version}, sql={self.sql!r})"
+        )
+
+
 class NetClientConnection:
     """One authenticated wire session; implements ``Connection``.
 
-    The connection keeps one request outstanding at a time (a session's
-    statements must stay ordered for trace history), correlating replies
-    by the echoed request id.
+    ``sql``/``query`` keep one request outstanding at a time (the
+    simple, strictly-ordered mode). :meth:`pipeline` keeps up to a
+    window of requests in flight on the same socket — the server
+    dispatches them in order and replies in order, so session semantics
+    are unchanged; only the per-request round trip is amortized.
+    :meth:`prepare`/:meth:`execute` hoist a statement's parse and shape
+    analysis server-side and ship only bindings per call.
     """
 
     def __init__(
@@ -160,6 +188,194 @@ class NetClientConnection:
             pass  # the server may already be gone; closing is still fine
         finally:
             self._sock.close()
+
+    # -- prepared statements -------------------------------------------------------
+
+    def prepare(self, sql: str) -> PreparedWireStatement:
+        """PREPARE ``sql`` server-side; returns a reusable handle."""
+        if self._closed:
+            raise EngineError("connection is closed")
+        if not isinstance(sql, str):
+            raise NetError(
+                "the wire client sends SQL text, not AST statements",
+                code=protocol.ERR_BAD_REQUEST,
+            )
+        reply = self._roundtrip(
+            {"type": protocol.PREPARE, "id": self._take_id(), "sql": sql}
+        )
+        if reply.get("type") != protocol.PREPARED:
+            raise self._to_error(reply)
+        return PreparedWireStatement(
+            sql=sql,
+            handle=int(reply["handle"]),
+            select=bool(reply.get("select", True)),
+            policy_version=int(reply.get("policy_version", 0)),
+        )
+
+    def execute(
+        self,
+        prepared: PreparedWireStatement,
+        args: Sequence[object] = (),
+        named: Mapping[str, object] | None = None,
+    ) -> Result | int:
+        """EXECUTE a prepared handle, shipping only the bindings.
+
+        If the server reports the handle stale (policy hot-reloaded
+        since PREPARE) or gone, re-prepares once transparently and
+        retries — the fresh EXECUTE is decided under the new policy,
+        which is exactly what a reload means.
+        """
+        if self._closed:
+            raise EngineError("connection is closed")
+        for attempt in range(2):
+            reply = self._roundtrip(self._execute_frame(prepared, args, named))
+            if _needs_reprepare(reply) and attempt == 0:
+                self._reprepare(prepared)
+                continue
+            return self._to_outcome(reply)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _execute_frame(
+        self,
+        prepared: PreparedWireStatement,
+        args: Sequence[object],
+        named: Mapping[str, object] | None,
+    ) -> dict:
+        return {
+            "type": protocol.EXECUTE,
+            "id": self._take_id(),
+            "handle": prepared.handle,
+            "args": list(args),
+            "named": dict(named) if named is not None else None,
+        }
+
+    def _reprepare(self, prepared: PreparedWireStatement) -> None:
+        fresh = self.prepare(prepared.sql)
+        prepared.handle = fresh.handle
+        prepared.select = fresh.select
+        prepared.policy_version = fresh.policy_version
+
+    # -- pipelining ----------------------------------------------------------------
+
+    def pipeline(
+        self,
+        requests: Sequence[object],
+        window: int = 32,
+    ) -> list[object]:
+        """Run many requests with up to ``window`` in flight at once.
+
+        Each request is one of:
+
+        * ``"SELECT ..."`` — a QUERY with no parameters;
+        * ``(sql, args)`` or ``(sql, args, named)`` — a QUERY;
+        * a :class:`PreparedWireStatement` — an EXECUTE with no bindings;
+        * ``(prepared, args)`` or ``(prepared, args, named)`` — an EXECUTE.
+
+        Returns one outcome per request, *in request order*: a
+        :class:`Result` (SELECT), an ``int`` rowcount (write), a
+        :class:`PolicyViolation` (blocked), or a :class:`NetError` —
+        per-request failures are returned, not raised, so one blocked
+        query does not discard the pipeline's other answers. Stale
+        prepared handles are re-prepared after the main sweep and those
+        requests retried at their original indexes.
+
+        Requests are sent in bursts (coalesced into one ``sendall`` per
+        window top-up) and the server dispatches them strictly in
+        arrival order, so trace history accumulates exactly as if the
+        same statements had been sent one at a time.
+        """
+        if self._closed:
+            raise EngineError("connection is closed")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        frames: list[dict] = []
+        prepared_for: list[PreparedWireStatement | None] = []
+        arguments: list[tuple[Sequence[object], Mapping[str, object] | None]] = []
+        for request in requests:
+            frame, prepared, call_args = self._pipeline_frame(request)
+            frames.append(frame)
+            prepared_for.append(prepared)
+            arguments.append(call_args)
+        outcomes: list[object] = [None] * len(frames)
+        id_to_index = {frame["id"]: index for index, frame in enumerate(frames)}
+        stale: list[int] = []
+        sent = 0
+        received = 0
+        burst = bytearray()
+        try:
+            while received < len(frames):
+                while sent < len(frames) and sent - received < window:
+                    protocol.encode_frame_into(frames[sent], burst)
+                    sent += 1
+                if burst:
+                    self._sock.sendall(burst)
+                    del burst[:]
+                reply = protocol.read_frame(self._sock, self._max_frame_bytes)
+                index = id_to_index.pop(reply.get("id"), None)
+                if index is None:
+                    raise NetError(
+                        f"unmatched pipeline reply {reply.get('type')!r}"
+                        f" (id {reply.get('id')!r})",
+                        code=protocol.ERR_MALFORMED,
+                    )
+                received += 1
+                if _needs_reprepare(reply) and prepared_for[index] is not None:
+                    stale.append(index)
+                    continue
+                try:
+                    outcomes[index] = self._to_outcome(reply)
+                except (PolicyViolation, NetError) as exc:
+                    outcomes[index] = exc
+        except (ConnectionClosed, OSError) as exc:
+            self._closed = True
+            self._sock.close()
+            if isinstance(exc, ConnectionClosed):
+                raise
+            raise ConnectionClosed(str(exc)) from exc
+        for index in stale:
+            prepared = prepared_for[index]
+            assert prepared is not None
+            args, named = arguments[index]
+            try:
+                outcomes[index] = self.execute(prepared, args, named)
+            except (PolicyViolation, NetError) as exc:
+                outcomes[index] = exc
+        return outcomes
+
+    def _pipeline_frame(
+        self, request: object
+    ) -> tuple[dict, PreparedWireStatement | None, tuple]:
+        """Normalize one pipeline request into its wire frame."""
+        args: Sequence[object] = ()
+        named: Mapping[str, object] | None = None
+        if isinstance(request, tuple):
+            if not 1 <= len(request) <= 3:
+                raise NetError(
+                    "pipeline tuple must be (sql|prepared, args?, named?)",
+                    code=protocol.ERR_BAD_REQUEST,
+                )
+            target = request[0]
+            if len(request) > 1:
+                args = request[1]
+            if len(request) > 2:
+                named = request[2]
+        else:
+            target = request
+        if isinstance(target, PreparedWireStatement):
+            return self._execute_frame(target, args, named), target, (args, named)
+        if not isinstance(target, str):
+            raise NetError(
+                "pipeline request must be SQL text or a PreparedWireStatement",
+                code=protocol.ERR_BAD_REQUEST,
+            )
+        frame = {
+            "type": protocol.QUERY,
+            "id": self._take_id(),
+            "sql": target,
+            "args": list(args),
+            "named": dict(named) if named is not None else None,
+        }
+        return frame, None, (args, named)
 
     # -- extras beyond the Connection protocol ------------------------------------
 
@@ -257,6 +473,30 @@ class NetClientConnection:
     @property
     def closed(self) -> bool:
         return self._closed
+
+
+def _is_stale_error(reply: dict) -> bool:
+    """True for the server's stale-prepared-handle refusal."""
+    return (
+        reply.get("type") == protocol.ERROR
+        and reply.get("code") == protocol.ERR_MALFORMED
+        and bool(reply.get("stale"))
+    )
+
+
+def _needs_reprepare(reply: dict) -> bool:
+    """True for refusals a re-PREPARE recovers from.
+
+    Stale handles (policy reloaded since PREPARE) and unknown handles
+    (the server dropped it — e.g. an earlier EXECUTE of the same handle
+    in one pipeline window already drew the stale refusal). The client
+    holds the statement text, so both heal the same way.
+    """
+    return _is_stale_error(reply) or (
+        reply.get("type") == protocol.ERROR
+        and reply.get("code") == protocol.ERR_MALFORMED
+        and bool(reply.get("unknown_handle"))
+    )
 
 
 class AdminClient:

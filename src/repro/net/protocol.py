@@ -32,6 +32,15 @@ Client → server:
 * ``QUERY {id, sql, args?, named?}`` — vet + execute a SELECT.
 * ``EXEC {id, sql, args?, named?}`` — execute any statement (writes
   return a row count and trigger decision-template invalidation).
+* ``PREPARE {id, sql}`` — hoist the statement's per-shape work (parse,
+  bind plan, skeletonization, equality-partition layout) server-side
+  once; replies ``PREPARED`` with an integer handle. Requires a session.
+* ``EXECUTE {id, handle, args?, named?}`` — run a prepared handle,
+  shipping only the bindings. An unknown handle, or one prepared under
+  an earlier policy version (the handle table is per-epoch and
+  invalidated on hot reload), is refused with ``ERROR/malformed`` — the
+  stale case additionally carries ``stale: true`` so clients can
+  re-prepare transparently. Requires a session.
 * ``PING {id}`` — liveness probe; allowed before HELLO.
 * ``STATS {id}`` — server + gateway metrics; allowed before HELLO.
 * ``GOODBYE {}`` — orderly close.
@@ -58,6 +67,8 @@ them is unaffected, so ``PROTOCOL_VERSION`` stays 1.
 Server → client:
 
 * ``WELCOME {version, session}`` — HELLO accepted.
+* ``PREPARED {id, handle, select, policy_version}`` — PREPARE accepted;
+  ``select`` says whether EXECUTE will return rows or a rowcount.
 * ``RESULT {id, columns, rows}`` — a SELECT's answer.
 * ``RESULT {id, rowcount}`` — a write's affected-row count.
 * ``BLOCKED {id, sql, reason, cached}`` — the policy checker denied the
@@ -68,9 +79,17 @@ Server → client:
   ``BYE {reason}``.
 
 Requests carry a client-chosen ``id`` echoed in the reply, so a client
-can pipeline requests and still correlate answers (the bundled blocking
-client keeps one request outstanding per connection, matching how a
-session's statements must stay ordered for trace history).
+can pipeline requests and still correlate answers. The server processes
+a connection's frames strictly in arrival order (a session's statements
+must stay ordered for trace history) but reads ahead while a statement
+executes, so a client may keep many requests in flight and overlap its
+encode/send work with server-side checking — see
+``NetClientConnection.pipeline``. Replies therefore also come back in
+request order; ids make the correlation explicit and future-proof.
+
+``PREPARE``/``EXECUTE``/``PREPARED`` and pipelining are additive: a
+version-1 client that never reads ahead or prepares sees byte-identical
+behavior, so ``PROTOCOL_VERSION`` stays 1.
 """
 
 from __future__ import annotations
@@ -95,6 +114,8 @@ _LENGTH = struct.Struct(">I")
 HELLO = "HELLO"
 QUERY = "QUERY"
 EXEC = "EXEC"
+PREPARE = "PREPARE"
+EXECUTE = "EXECUTE"
 PING = "PING"
 STATS = "STATS"
 GOODBYE = "GOODBYE"
@@ -107,6 +128,7 @@ PROMOTE = "PROMOTE"
 ROLLBACK = "ROLLBACK"
 
 WELCOME = "WELCOME"
+PREPARED = "PREPARED"
 RESULT = "RESULT"
 BLOCKED = "BLOCKED"
 ERROR = "ERROR"
@@ -162,6 +184,19 @@ def encode_frame(message: dict[str, Any]) -> bytes:
     """Serialize one message to a length-prefixed frame."""
     payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
     return _LENGTH.pack(len(payload)) + payload
+
+
+def encode_frame_into(message: dict[str, Any], buf: bytearray) -> None:
+    """Append one encoded frame to ``buf``.
+
+    The server's per-connection reply coalescer batches several small
+    replies into one ``write()`` per drain cycle; appending into a
+    reusable buffer avoids allocating (and the kernel avoids flushing)
+    one segment per frame.
+    """
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    buf += _LENGTH.pack(len(payload))
+    buf += payload
 
 
 def decode_payload(payload: bytes) -> dict[str, Any]:

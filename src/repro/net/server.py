@@ -33,7 +33,30 @@ Production shape, not a toy:
 * **Graceful drain** — :meth:`shutdown` stops accepting, lets every
   in-flight statement finish and its reply flush, closes the survivors
   with ``BYE/shutting-down``, then tears down the pool. Statements that
-  arrive *during* the drain get ``ERROR/shutting_down``.
+  arrive *during* the drain get ``ERROR/shutting_down`` — including
+  statements already queued in a pipelined connection's read-ahead
+  buffer when the drain starts.
+* **Frame pipelining** — each connection runs a dedicated reader task
+  that keeps reading ahead (up to ``pipeline_depth`` frames) while the
+  current statement executes on a worker thread, so a client that
+  streams requests overlaps its encode/send work with server-side
+  checking instead of paying a full round trip per request. Frames are
+  still *dispatched* strictly in arrival order, serially per connection
+  — a session's statements must stay ordered for trace history — so
+  pipelining changes request latency, never semantics. A run of
+  consecutive statement frames already queued is dispatched as one
+  *batched* worker job (one loop<->pool handoff for the run, each
+  statement still validated, admitted, executed, and metered
+  individually), and replies are coalesced: consecutive small replies
+  are encoded into one buffer and flushed with a single ``write()``
+  when the read-ahead queue goes empty (or the buffer grows large),
+  cutting per-reply syscall and segment overhead on the hit path.
+* **Prepared statements** — ``PREPARE`` runs a statement's per-shape
+  work (parse, bind plan, skeletonization) once and stores the plan in
+  a per-connection handle table stamped with the policy version;
+  ``EXECUTE`` ships only bindings. Handles from before a hot reload are
+  refused with ``ERROR/malformed`` + ``stale: true`` so clients
+  re-prepare — decisions always come from the current epoch.
 """
 
 from __future__ import annotations
@@ -87,6 +110,10 @@ class ServerConfig:
     max_frame_bytes: int = protocol.MAX_FRAME_BYTES
     execute_delay_s: float = 0.0
     shard_id: int | None = None
+    #: How many frames a connection's reader may buffer ahead of the
+    #: dispatcher. Bounds per-connection memory and, once full, pushes
+    #: backpressure onto the TCP window instead of the heap.
+    pipeline_depth: int = 32
 
     def __post_init__(self) -> None:
         if self.max_connections < 1:
@@ -95,6 +122,8 @@ class ServerConfig:
             raise ValueError("max_in_flight must be >= 1")
         if self.worker_threads < 1:
             raise ValueError("worker_threads must be >= 1")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
 
 
 class NetServer:
@@ -229,28 +258,83 @@ class NetServer:
             return
         self._active += 1
         self.metrics.connection_opened()
-        session_conn: GatewayConnection | None = None
-        session_key: tuple | None = None
+        state = _ConnState()
+        # The reader task keeps pulling frames while the dispatcher below
+        # is busy executing a statement; the bounded queue is the
+        # pipeline. Frames are dispatched strictly in arrival order.
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.config.pipeline_depth)
+        reader_task = asyncio.ensure_future(self._read_loop(reader, queue))
+        out = bytearray()
         drained = False
+        pending: tuple | None = None
         try:
             while True:
-                frame = await self._next_frame(reader, writer)
-                if frame is None:
+                if pending is not None:
+                    event, pending = pending, None
+                else:
+                    event = await self._next_event(queue, writer, out)
+                if event is None:  # idle reap / drain while idle (BYE sent)
                     drained = self.draining
                     return
-                reply, keep_open = await self._dispatch(frame, writer, session_conn)
-                if isinstance(reply, _Authenticated):
-                    session_conn = reply.connection
-                    session_key = reply.key
-                    reply = reply.welcome
-                if reply is not None:
-                    await self._send(writer, reply)
-                if not keep_open:
+                kind, payload = event
+                if kind == "eof":
+                    drained = self.draining
                     return
-                if self.draining and self._safe_to_drain(session_key):
+                if kind in ("oversized", "malformed"):
+                    # Framing state is unrecoverable; answer and close.
+                    self.metrics.increment(f"frames_{kind}")
+                    protocol.encode_frame_into(
+                        {
+                            "type": protocol.ERROR,
+                            "code": payload.code,
+                            "error": str(payload),
+                        },
+                        out,
+                    )
+                    return
+                # Pipelined fast path: a run of statement frames already
+                # queued behind this one executes as a single worker job
+                # (one loop<->pool handoff for the whole run). A control or
+                # admin frame — or a terminal reader event — ends the run
+                # and is carried over to the next loop iteration.
+                batch: list | None = None
+                if self._batchable(payload, state) and not queue.empty():
+                    batch = [payload]
+                    while len(batch) < self.config.pipeline_depth and not queue.empty():
+                        nxt = queue.get_nowait()
+                        if nxt[0] == "frame" and self._batchable(nxt[1], state):
+                            batch.append(nxt[1])
+                        else:
+                            pending = nxt
+                            break
+                if batch is not None and len(batch) > 1:
+                    if not await self._execute_batch(batch, state, out):
+                        return
+                else:
+                    reply, keep_open = await self._dispatch(frame=payload, state=state)
+                    if isinstance(reply, _Authenticated):
+                        state.bind(
+                            reply.connection, reply.key, self._lock_for(reply.key)
+                        )
+                        reply = reply.welcome
+                    if reply is not None:
+                        protocol.encode_frame_into(reply, out)
+                    if not keep_open:
+                        return
+                # Coalesce replies: hold small frames in ``out`` while more
+                # requests are already queued; flush in one write when the
+                # pipeline runs dry (or the buffer gets big). _next_event
+                # also flushes before blocking, so a reply is never parked
+                # while the connection waits for input.
+                if len(out) >= _FLUSH_BYTES or (queue.empty() and pending is None):
+                    await self._flush(writer, out)
+                if self.draining and queue.empty() and pending is None:
+                    # Between statements, pipeline empty: safe to say BYE.
+                    # Queued statements (the pipelined-drain case) were
+                    # answered ERR_SHUTTING_DOWN by the dispatch above.
                     drained = True
-                    await self._send(
-                        writer, {"type": protocol.BYE, "reason": "shutting down"}
+                    protocol.encode_frame_into(
+                        {"type": protocol.BYE, "reason": "shutting down"}, out
                     )
                     return
         except ConnectionClosed:
@@ -258,78 +342,79 @@ class NetServer:
         except asyncio.CancelledError:  # drain grace expired
             raise
         finally:
+            reader_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await reader_task
+            with contextlib.suppress(ConnectionClosed, Exception):
+                await self._flush(writer, out)
             self._active -= 1
             self.metrics.connection_closed()
             if drained:
                 self.metrics.increment("drained_connections")
 
-    async def _next_frame(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> dict | None:
-        """Read one frame, racing the idle clock and the drain signal.
+    async def _read_loop(self, reader: asyncio.StreamReader, queue: asyncio.Queue):
+        """Per-connection reader: frames in arrival order, then one
+        terminal event. ``queue.put`` blocks at ``pipeline_depth``,
+        pushing backpressure onto the socket."""
+        while True:
+            try:
+                frame = await read_frame_async(reader, self.config.max_frame_bytes)
+            except ConnectionClosed:
+                await queue.put(("eof", None))
+                return
+            except FrameTooLarge as exc:
+                await queue.put(("oversized", exc))
+                return
+            except NetError as exc:
+                await queue.put(("malformed", exc))
+                return
+            await queue.put(("frame", frame))
 
-        Returns ``None`` when the connection should close quietly (idle
-        reap, drain while idle); raises :class:`ConnectionClosed` on EOF.
+    async def _next_event(
+        self, queue: asyncio.Queue, writer: asyncio.StreamWriter, out: bytearray
+    ) -> tuple | None:
+        """Next reader event, racing the idle clock and the drain signal.
+
+        Returns ``None`` when the connection should close (idle reap,
+        drain while idle); the BYE has been sent.
         """
-        read_task = asyncio.ensure_future(
-            read_frame_async(reader, self.config.max_frame_bytes)
-        )
+        if not queue.empty():
+            return queue.get_nowait()
+        # About to block on the client: anything still buffered is owed.
+        await self._flush(writer, out)
+        get_task = asyncio.ensure_future(queue.get())
         drain_task = asyncio.ensure_future(self._draining.wait())
         try:
             done, _ = await asyncio.wait(
-                {read_task, drain_task},
+                {get_task, drain_task},
                 timeout=self.config.idle_timeout_s,
                 return_when=asyncio.FIRST_COMPLETED,
             )
         finally:
             drain_task.cancel()
-        if read_task not in done:
-            read_task.cancel()
-            with contextlib.suppress(asyncio.CancelledError, NetError):
-                await read_task
-            if self.draining:
-                await self._send(
-                    writer, {"type": protocol.BYE, "reason": "shutting down"}
-                )
-                return None
-            self.metrics.increment("idle_reaped")
-            await self._send(writer, {"type": protocol.BYE, "reason": "idle"})
+        if get_task in done:
+            return get_task.result()
+        get_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            # The get may have completed between wait() and cancel();
+            # never drop a frame on the floor.
+            return await get_task
+        if self.draining:
+            await self._send(writer, {"type": protocol.BYE, "reason": "shutting down"})
             return None
-        try:
-            return read_task.result()
-        except FrameTooLarge as exc:
-            self.metrics.increment("frames_oversized")
-            await self._send(
-                writer,
-                {"type": protocol.ERROR, "code": exc.code, "error": str(exc)},
-            )
-            return None
-        except ConnectionClosed:
-            raise
-        except NetError as exc:
-            self.metrics.increment("frames_malformed")
-            await self._send(
-                writer,
-                {"type": protocol.ERROR, "code": exc.code, "error": str(exc)},
-            )
-            return None
-
-    def _safe_to_drain(self, session_key: tuple | None) -> bool:
-        """During drain, only close between a session's statements."""
-        return True  # replies are awaited inline, so between-frames is safe
+        self.metrics.increment("idle_reaped")
+        await self._send(writer, {"type": protocol.BYE, "reason": "idle"})
+        return None
 
     # -- dispatch -----------------------------------------------------------------
 
     async def _dispatch(
-        self,
-        frame: dict,
-        writer: asyncio.StreamWriter,
-        session_conn: GatewayConnection | None,
+        self, frame: dict, state: "_ConnState"
     ) -> tuple[dict | None, bool]:
         """Returns ``(reply, keep_open)``."""
         kind = frame["type"]
         if kind == protocol.HELLO:
-            return self._handle_hello(frame, session_conn), True
+            return self._handle_hello(frame, state.conn), True
         if kind == protocol.PING:
             return {"type": protocol.PONG, "id": frame.get("id")}, True
         if kind == protocol.STATS:
@@ -337,7 +422,11 @@ class NetServer:
         if kind == protocol.GOODBYE:
             return {"type": protocol.BYE, "reason": "goodbye"}, False
         if kind in (protocol.QUERY, protocol.EXEC):
-            return await self._handle_statement(frame, session_conn)
+            return await self._handle_statement(frame, state)
+        if kind == protocol.PREPARE:
+            return await self._handle_prepare(frame, state), True
+        if kind == protocol.EXECUTE:
+            return await self._handle_execute(frame, state)
         if kind in _ADMIN_VERBS:
             return await self._handle_admin(frame, kind), True
         return (
@@ -564,16 +653,82 @@ class NetServer:
         )
 
     async def _handle_statement(
-        self, frame: dict, session_conn: GatewayConnection | None
+        self, frame: dict, state: "_ConnState"
     ) -> tuple[dict | None, bool]:
-        if session_conn is None:
-            return (
-                _error(frame, protocol.ERR_UNAUTHENTICATED, "send HELLO first"),
-                True,
-            )
+        reply, work_fn = self._statement_work(frame, state)
+        if work_fn is None:
+            return reply, True
+        return await self._execute(frame, state, work_fn)
+
+    def _statement_work(
+        self, frame: dict, state: "_ConnState"
+    ) -> tuple[dict | None, object | None]:
+        """Validate one QUERY/EXEC/EXECUTE frame and build its worker thunk.
+
+        Returns ``(immediate_reply, None)`` when the frame is answered
+        without touching a worker (validation failure, shed, unknown or
+        stale handle), or ``(None, work_fn)`` when it should execute.
+        Shared by the one-at-a-time path and the batched pipeline path so
+        the two cannot drift.
+        """
+        if state.conn is None:
+            return _error(frame, protocol.ERR_UNAUTHENTICATED, "send HELLO first"), None
+        session_conn = state.conn
+        if frame["type"] == protocol.EXECUTE:
+            handle = frame.get("handle")
+            if not isinstance(handle, int) or isinstance(handle, bool):
+                return (
+                    _error(frame, protocol.ERR_BAD_REQUEST, "'handle' must be an integer"),
+                    None,
+                )
+            args = frame.get("args") or []
+            named = frame.get("named")
+            if not isinstance(args, list) or not (named is None or isinstance(named, dict)):
+                return (
+                    _error(
+                        frame,
+                        protocol.ERR_BAD_REQUEST,
+                        "'args' must be a list and 'named' an object",
+                    ),
+                    None,
+                )
+            shed = self._admission_check(frame)
+            if shed is not None:
+                return shed, None
+            entry = state.prepared.get(handle)
+            if entry is None:
+                self.metrics.increment("prepared_unknown")
+                reply = _error(
+                    frame,
+                    protocol.ERR_MALFORMED,
+                    f"unknown prepared handle {handle}; PREPARE first",
+                )
+                # Additive flag so a client holding the statement text can
+                # recover by re-preparing — a handle legitimately vanishes
+                # when an earlier EXECUTE in the same pipeline window drew
+                # the stale refusal that dropped it.
+                reply["unknown_handle"] = True
+                return reply, None
+            if entry.policy_version != self.gateway.policy_version:
+                # Lazy per-epoch invalidation: the policy was hot-reloaded
+                # since this handle was prepared. Drop it and make the
+                # client re-prepare, so no handle straddles a reload.
+                del state.prepared[handle]
+                self.metrics.increment("prepared_stale")
+                reply = _error(
+                    frame,
+                    protocol.ERR_MALFORMED,
+                    f"prepared handle {handle} is stale (policy"
+                    f" v{entry.policy_version} -> v{self.gateway.policy_version});"
+                    " re-prepare",
+                )
+                reply["stale"] = True
+                return reply, None
+            plan = entry.plan
+            return None, lambda: session_conn.execute_prepared(plan, args, named)
         sql = frame.get("sql")
         if not isinstance(sql, str):
-            return _error(frame, protocol.ERR_BAD_REQUEST, "'sql' must be a string"), True
+            return _error(frame, protocol.ERR_BAD_REQUEST, "'sql' must be a string"), None
         args = frame.get("args") or []
         named = frame.get("named")
         if not isinstance(args, list) or not (named is None or isinstance(named, dict)):
@@ -583,48 +738,90 @@ class NetServer:
                     protocol.ERR_BAD_REQUEST,
                     "'args' must be a list and 'named' an object",
                 ),
-                True,
+                None,
             )
+        shed = self._admission_check(frame)
+        if shed is not None:
+            return shed, None
+        if frame["type"] == protocol.QUERY:
+            return None, lambda: session_conn.query(sql, args, named)
+        return None, lambda: session_conn.sql(sql, args, named)
+
+    # -- prepared statements -------------------------------------------------------
+
+    async def _handle_prepare(self, frame: dict, state: "_ConnState") -> dict:
+        """PREPARE: parse + hoist shape analysis once; vend a handle.
+
+        The handle table is per-connection and stamped with the policy
+        version at prepare time; a hot reload makes every earlier handle
+        stale (refused at EXECUTE), so prepared decisions can never
+        outlive the epoch that shaped them.
+        """
+        if state.conn is None:
+            return _error(frame, protocol.ERR_UNAUTHENTICATED, "send HELLO first")
+        sql = frame.get("sql")
+        if not isinstance(sql, str):
+            return _error(frame, protocol.ERR_BAD_REQUEST, "'sql' must be a string")
+        assert self._loop is not None and self._pool is not None
+        conn = state.conn
+        version = self.gateway.policy_version
+        try:
+            plan = await self._loop.run_in_executor(self._pool, conn.prepare, sql)
+        except DbacError as exc:
+            return _error(frame, protocol.ERR_ENGINE, str(exc))
+        handle = state.next_handle
+        state.next_handle += 1
+        state.prepared[handle] = _PreparedEntry(plan, plan.is_select, version)
+        self.metrics.increment("statements_prepared")
+        return {
+            "type": protocol.PREPARED,
+            "id": frame.get("id"),
+            "handle": handle,
+            "select": plan.is_select,
+            "policy_version": version,
+        }
+
+    async def _handle_execute(
+        self, frame: dict, state: "_ConnState"
+    ) -> tuple[dict | None, bool]:
+        """EXECUTE: run a prepared handle, shipping only bindings."""
+        reply, work_fn = self._statement_work(frame, state)
+        if work_fn is None:
+            return reply, True
+        return await self._execute(frame, state, work_fn)
+
+    def _admission_check(self, frame: dict) -> dict | None:
+        """Drain + overload shedding, shared by QUERY/EXEC/EXECUTE.
+
+        Returns the shed ERROR reply, or None when admitted.
+        """
         if self.draining:
             self.metrics.increment("requests_shed")
-            return (
-                _error(frame, protocol.ERR_SHUTTING_DOWN, "server is draining"),
-                True,
-            )
+            return _error(frame, protocol.ERR_SHUTTING_DOWN, "server is draining")
         if self._in_flight >= self.config.max_in_flight:
             # Shed instead of queueing: the caller finds out *now*.
             self.metrics.increment("requests_shed")
-            return (
-                _error(
-                    frame,
-                    protocol.ERR_OVERLOADED,
-                    f"{self._in_flight} statements in flight (bound"
-                    f" {self.config.max_in_flight}); retry with backoff",
-                ),
-                True,
+            return _error(
+                frame,
+                protocol.ERR_OVERLOADED,
+                f"{self._in_flight} statements in flight (bound"
+                f" {self.config.max_in_flight}); retry with backoff",
             )
-        return await self._execute(frame, session_conn, sql, args, named)
+        return None
 
     async def _execute(
-        self,
-        frame: dict,
-        session_conn: GatewayConnection,
-        sql: str,
-        args: list,
-        named: dict | None,
+        self, frame: dict, state: "_ConnState", work_fn
     ) -> tuple[dict | None, bool]:
         assert self._loop is not None and self._pool is not None
-        want_select = frame["type"] == protocol.QUERY
-        lock = self._lock_for(session_conn)
+        lock = state.lock
+        assert lock is not None
         delay = self.config.execute_delay_s
 
         def work():
             with lock:
                 if delay:
                     time.sleep(delay)
-                if want_select:
-                    return session_conn.query(sql, args, named)
-                return session_conn.sql(sql, args, named)
+                return work_fn()
 
         self._in_flight += 1
         self.metrics.request_started()
@@ -653,17 +850,7 @@ class NetServer:
         except PolicyViolation as violation:
             self.metrics.increment("requests_blocked")
             self.metrics.observe_request(time.perf_counter() - started)
-            decision = violation.decision
-            return (
-                {
-                    "type": protocol.BLOCKED,
-                    "id": frame.get("id"),
-                    "sql": decision.sql,
-                    "reason": decision.reason,
-                    "cached": decision.from_cache,
-                },
-                True,
-            )
+            return self._blocked_reply(frame, violation), True
         except DbacError as exc:
             self.metrics.increment("requests_failed")
             self.metrics.observe_request(time.perf_counter() - started)
@@ -674,13 +861,181 @@ class NetServer:
             return _error(frame, protocol.ERR_INTERNAL, str(exc)), True
         self.metrics.increment("requests_ok")
         self.metrics.observe_request(time.perf_counter() - started)
+        return self._result_reply(frame, outcome), True
+
+    @staticmethod
+    def _result_reply(frame: dict, outcome) -> dict:
         reply: dict = {"type": protocol.RESULT, "id": frame.get("id")}
         if isinstance(outcome, int):
             reply["rowcount"] = outcome
         else:
             reply["columns"] = list(outcome.columns)
             reply["rows"] = [list(row) for row in outcome.rows]
-        return reply, True
+        return reply
+
+    @staticmethod
+    def _blocked_reply(frame: dict, violation: PolicyViolation) -> dict:
+        decision = violation.decision
+        return {
+            "type": protocol.BLOCKED,
+            "id": frame.get("id"),
+            "sql": decision.sql,
+            "reason": decision.reason,
+            "cached": decision.from_cache,
+        }
+
+    # -- batched pipeline dispatch -------------------------------------------------
+
+    @staticmethod
+    def _batchable(frame: dict, state: "_ConnState") -> bool:
+        """Statement frames on an authenticated connection batch together."""
+        return state.conn is not None and frame.get("type") in (
+            protocol.QUERY,
+            protocol.EXEC,
+            protocol.EXECUTE,
+        )
+
+    async def _execute_batch(
+        self, frames: list, state: "_ConnState", out: bytearray
+    ) -> bool:
+        """Run a run of consecutive statement frames as ONE worker job.
+
+        Pipelined clients queue several statements before the first reply;
+        dispatching them one-at-a-time pays a loop<->worker handoff per
+        frame, which dominates the cached-hit path. Here the whole run
+        crosses into the pool once, executes strictly in order under the
+        session lock, and the replies come back together (encoded in
+        frame order, coalesced by the caller's flush rules).
+
+        Per-frame semantics are preserved: validation/admission/stale
+        checks run through :meth:`_statement_work` exactly as in the
+        one-at-a-time path, the worker re-checks the drain flag before
+        *each* statement (a mid-batch shutdown still sheds the not-yet-
+        started tail with ERR_SHUTTING_DOWN), and per-statement metrics
+        are applied when the replies are emitted. The request deadline
+        becomes per-statement-with-progress: the batch fails only when a
+        full ``request_timeout_s`` passes with no statement completing.
+
+        Returns ``keep_open``.
+        """
+        plans: list[tuple[dict, dict | None, object | None]] = []
+        for frame in frames:
+            reply, work_fn = self._statement_work(frame, state)
+            plans.append((frame, reply, work_fn))
+        work_items = [(frame, fn) for frame, _, fn in plans if fn is not None]
+        results: list[tuple[str, object, float]] = []  # appended by the worker
+        if work_items:
+            assert self._loop is not None and self._pool is not None
+            lock = state.lock
+            assert lock is not None
+            delay = self.config.execute_delay_s
+            draining = self._draining
+
+            def run_batch():
+                for _, fn in work_items:
+                    if draining.is_set():
+                        results.append(("shed", None, 0.0))
+                        continue
+                    started = time.perf_counter()
+                    try:
+                        with lock:
+                            if delay:
+                                time.sleep(delay)
+                            value = fn()
+                        results.append(("ok", value, time.perf_counter() - started))
+                    except PolicyViolation as violation:
+                        results.append(
+                            ("blocked", violation, time.perf_counter() - started)
+                        )
+                    except DbacError as exc:
+                        results.append(("engine", exc, time.perf_counter() - started))
+                    except Exception as exc:  # pragma: no cover - defensive
+                        logger.exception("statement execution failed unexpectedly")
+                        results.append(("internal", exc, 0.0))
+                return results
+
+            self._in_flight += 1
+            self.metrics.request_started()
+            future = self._loop.run_in_executor(self._pool, run_batch)
+            future.add_done_callback(self._statement_finished)
+            completed_last_wait = 0
+            while True:
+                try:
+                    await asyncio.wait_for(
+                        asyncio.shield(future), self.config.request_timeout_s
+                    )
+                    break
+                except asyncio.TimeoutError:
+                    if len(results) > completed_last_wait:
+                        # Progress since the last deadline check: grant the
+                        # statement now in flight its own budget.
+                        completed_last_wait = len(results)
+                        continue
+                    # A full deadline with nothing finishing: same terminal
+                    # semantics as the single-statement path — answer what
+                    # is owed, report the stuck statement, close.
+                    self.metrics.increment("requests_timed_out")
+                    self._emit_batch_replies(plans, list(results), out)
+                    return False
+        self._emit_batch_replies(plans, list(results), out)
+        return True
+
+    def _emit_batch_replies(
+        self,
+        plans: list,
+        results: list,
+        out: bytearray,
+    ) -> None:
+        """Encode batch replies in frame order, applying per-item metrics.
+
+        ``results`` holds worker outcomes for the executed subset, in
+        order; when it is shorter than the executed subset (deadline hit),
+        the first unanswered statement gets the timeout error and the
+        rest are dropped with the connection.
+        """
+        cursor = 0
+        for frame, reply, work_fn in plans:
+            if work_fn is None:
+                protocol.encode_frame_into(reply, out)
+                continue
+            if cursor >= len(results):
+                protocol.encode_frame_into(
+                    _error(
+                        frame,
+                        protocol.ERR_TIMEOUT,
+                        f"statement exceeded the {self.config.request_timeout_s:.3f}s"
+                        " deadline; connection closed",
+                    ),
+                    out,
+                )
+                return
+            status, payload, seconds = results[cursor]
+            cursor += 1
+            if status == "ok":
+                self.metrics.increment("requests_ok")
+                self.metrics.observe_request(seconds)
+                protocol.encode_frame_into(self._result_reply(frame, payload), out)
+            elif status == "blocked":
+                self.metrics.increment("requests_blocked")
+                self.metrics.observe_request(seconds)
+                protocol.encode_frame_into(self._blocked_reply(frame, payload), out)
+            elif status == "shed":
+                self.metrics.increment("requests_shed")
+                protocol.encode_frame_into(
+                    _error(frame, protocol.ERR_SHUTTING_DOWN, "server is draining"),
+                    out,
+                )
+            elif status == "engine":
+                self.metrics.increment("requests_failed")
+                self.metrics.observe_request(seconds)
+                protocol.encode_frame_into(
+                    _error(frame, protocol.ERR_ENGINE, str(payload)), out
+                )
+            else:
+                self.metrics.increment("requests_failed")
+                protocol.encode_frame_into(
+                    _error(frame, protocol.ERR_INTERNAL, str(payload)), out
+                )
 
     def _statement_finished(self, _future: asyncio.Future) -> None:
         """Runs on the loop thread when a worker statement completes."""
@@ -690,8 +1045,13 @@ class NetServer:
             return
         _future.exception()  # orphaned timeouts: mark retrieved
 
-    def _lock_for(self, session_conn: GatewayConnection) -> threading.Lock:
-        key = tuple(sorted(session_conn.session.bindings.items()))
+    def _lock_for(self, key: tuple) -> threading.Lock:
+        """Resolve the session principal's lock, once per connection.
+
+        Called at HELLO (the key is the sorted bindings the HELLO
+        carried) and cached on the connection state — re-deriving and
+        re-sorting it per statement was measurable hit-path waste.
+        """
         with self._session_locks_guard:
             lock = self._session_locks.get(key)
             if lock is None:
@@ -705,6 +1065,18 @@ class NetServer:
             writer.write(protocol.encode_frame(message))
             await writer.drain()
         except (ConnectionResetError, BrokenPipeError) as exc:
+            raise ConnectionClosed() from exc
+
+    async def _flush(self, writer: asyncio.StreamWriter, out: bytearray) -> None:
+        """Write the coalesced reply buffer in one go and reset it."""
+        if not out:
+            return
+        try:
+            writer.write(bytes(out))
+            del out[:]
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError) as exc:
+            del out[:]
             raise ConnectionClosed() from exc
 
 
@@ -745,6 +1117,40 @@ def _reload_to_wire(report) -> dict:
         "sessions_preserved": report.sessions_preserved,
         "trace_facts_preserved": report.trace_facts_preserved,
     }
+
+
+#: Flush the coalesced reply buffer once it reaches this many bytes even
+#: if more requests are queued (bounds reply latency under a deep pipeline).
+_FLUSH_BYTES = 64 * 1024
+
+
+@dataclass
+class _PreparedEntry:
+    """One PREPARE'd plan in a connection's handle table."""
+
+    plan: object
+    select: bool
+    policy_version: int
+
+
+class _ConnState:
+    """Per-connection mutable state. Loop-thread only (no locks needed);
+    the hot-path invariants — session lock, sorted-bindings key — are
+    resolved once at HELLO instead of per statement."""
+
+    __slots__ = ("conn", "key", "lock", "prepared", "next_handle")
+
+    def __init__(self) -> None:
+        self.conn: GatewayConnection | None = None
+        self.key: tuple | None = None
+        self.lock: threading.Lock | None = None
+        self.prepared: dict[int, _PreparedEntry] = {}
+        self.next_handle = 1
+
+    def bind(self, conn: GatewayConnection, key: tuple, lock: threading.Lock) -> None:
+        self.conn = conn
+        self.key = key
+        self.lock = lock
 
 
 @dataclass

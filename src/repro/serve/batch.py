@@ -38,12 +38,22 @@ _BUCKETS = (1, 2, 4, 8)
 
 
 class _Ticket:
-    __slots__ = ("stmt", "bindings", "trace", "event", "decision", "error", "taken")
+    __slots__ = (
+        "stmt",
+        "bindings",
+        "trace",
+        "skeleton",
+        "event",
+        "decision",
+        "error",
+        "taken",
+    )
 
-    def __init__(self, stmt, bindings, trace):
+    def __init__(self, stmt, bindings, trace, skeleton=None):
         self.stmt = stmt
         self.bindings = bindings
         self.trace = trace
+        self.skeleton = skeleton
         self.event = threading.Event()
         self.decision: Decision | None = None
         self.error: BaseException | None = None
@@ -72,20 +82,25 @@ class CheckBatcher:
         stmt: ast.Select,
         bindings: Mapping[str, object],
         trace: Trace | None,
+        skeleton=None,
     ) -> Decision:
-        """Check one statement, batching with whatever else is queued."""
+        """Check one statement, batching with whatever else is queued.
+
+        ``skeleton`` is an optional precomputed ``skeletonize(stmt)``
+        (prepared-statement fast path) forwarded to the checker.
+        """
         with self._lock:
             if not self._busy:
                 self._busy = True
                 ticket = None
             else:
-                ticket = _Ticket(stmt, bindings, trace)
+                ticket = _Ticket(stmt, bindings, trace, skeleton)
                 self._queue.append(ticket)
         if ticket is None:
             # Leader: check inline, then drain followers until quiet.
             try:
                 self._observe(1)
-                return self._checker.check(stmt, bindings, trace)
+                return self._checker.check(stmt, bindings, trace, skeleton=skeleton)
             finally:
                 self._drain()
         if ticket.event.wait(self._timeout_s):
@@ -110,7 +125,7 @@ class CheckBatcher:
             assert ticket.decision is not None
             return ticket.decision
         self.fallbacks += 1
-        return self._checker.check(stmt, bindings, trace)
+        return self._checker.check(stmt, bindings, trace, skeleton=skeleton)
 
     def _drain(self) -> None:
         """Leader duty: serve queued batches, then release the role."""
@@ -127,7 +142,10 @@ class CheckBatcher:
             for ticket in batch:
                 try:
                     ticket.decision = self._checker.check(
-                        ticket.stmt, ticket.bindings, ticket.trace
+                        ticket.stmt,
+                        ticket.bindings,
+                        ticket.trace,
+                        skeleton=ticket.skeleton,
                     )
                 except BaseException as exc:  # noqa: BLE001 - relayed to waiter
                     ticket.error = exc

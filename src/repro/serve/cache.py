@@ -1,4 +1,4 @@
-"""The shared, write-invalidated decision cache.
+"""The shared, write-invalidated decision cache — lock-striped.
 
 One :class:`SharedDecisionCache` serves every session of an
 :class:`~repro.serve.gateway.EnforcementGateway`: a decision template
@@ -26,61 +26,157 @@ running the checker for B directly:
 Hence a shared cache hit never over-allows relative to the per-session
 checker; the E11 benchmark re-verifies this empirically on every run.
 
-Thread safety is a single lock around lookup/store/invalidate: template
-matching is pure in-memory work, orders of magnitude cheaper than the
-checker it replaces, so one lock does not bottleneck the worker pool
-(and under CPython's GIL a finer scheme would buy little).
+Lock striping
+-------------
+The earlier design took one process-wide lock around every operation.
+Once the miss path was compiled (PR 8), the cache probe itself became a
+measurable fraction of a cached-hit request, and every worker thread
+funnelled through that single lock. Now the key space is split across
+``stripes`` independent :class:`~repro.enforce.cache.DecisionCache`
+instances, routed by the hash of the skeleton key (the hollowed
+statement): skeletonization — the expensive, pure part — happens
+*outside* any lock (or is skipped entirely when the caller passes a
+precomputed skeleton from a :class:`~repro.sqlir.prepared.PreparedPlan`),
+and a lookup then takes exactly one stripe lock for the in-index probe.
+Two requests with different statement shapes never contend.
+
+Bookkeeping is deferred: per-stripe hit/miss/store counters are updated
+under the stripe lock they already hold (a plain int add), and the
+aggregate counters the gateway snapshot reports are summed lazily at
+read time instead of being maintained under a global lock on the hot
+path. Contention is observable: a lookup that finds its stripe lock
+busy increments ``stripe_contention`` (surfaced in gateway snapshots as
+``cache_stripe_contention``) before blocking, so a deployment can see
+striping pressure instead of guessing.
+
+Writers (``invalidate_table``, ``clear``) visit stripes one at a time —
+a write's eviction does not need a consistent cross-stripe cut, because
+template eviction is conservative hygiene, not a correctness guard (see
+``DecisionCache.invalidate_table``).
 """
 
 from __future__ import annotations
 
 import threading
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Iterator, Mapping
 
-from repro.enforce.cache import DecisionCache
+from repro.enforce.cache import DecisionCache, _Template
 from repro.enforce.decision import Decision
 from repro.enforce.trace import Trace
 from repro.policy.policy import Policy
 from repro.sqlir import ast
+from repro.sqlir.skeleton import Skeleton, skeletonize
+
+#: Default stripe count. Eight is plenty for a worker pool of the
+#: default size (8 threads): collisions require two concurrent probes of
+#: statement shapes that hash to the same stripe.
+DEFAULT_STRIPES = 8
 
 
 class SharedDecisionCache(DecisionCache):
-    """A :class:`DecisionCache` safe to share across concurrent sessions."""
+    """A :class:`DecisionCache` safe to share across concurrent sessions.
 
-    def __init__(self, policy: Policy):
-        super().__init__(policy)
-        self._lock = threading.RLock()
-        self.stores = 0
+    Subclasses :class:`DecisionCache` for interface compatibility (every
+    call site that accepts a decision cache accepts this), but holds no
+    template state of its own: all state lives in the per-stripe caches,
+    and the inherited counters are re-exposed as lazily-summed
+    properties.
+    """
+
+    def __init__(self, policy: Policy, stripes: int = DEFAULT_STRIPES):
+        # Deliberately NOT calling DecisionCache.__init__: the facade
+        # keeps no _index/_by_table of its own, and the base counters
+        # become summing properties below.
+        if stripes < 1:
+            raise ValueError("stripes must be >= 1")
+        self._stripe_caches = tuple(DecisionCache(policy) for _ in range(stripes))
+        self._stripe_locks = tuple(threading.Lock() for _ in range(stripes))
+        self._stores = 0
+        self._contention = 0
+
+    # -- routing ------------------------------------------------------------------
+
+    def _stripe_of(self, skeleton_key: object) -> int:
+        return hash(skeleton_key) % len(self._stripe_caches)
+
+    def _acquire(self, lock: threading.Lock) -> None:
+        """Take a stripe lock, counting (racily — it is a diagnostic,
+        not an invariant) the acquisitions that had to wait."""
+        if lock.acquire(blocking=False):
+            return
+        self._contention += 1
+        lock.acquire()
+
+    # -- lookup -------------------------------------------------------------------
 
     def lookup(
         self,
         stmt: ast.Select,
         bindings: Mapping[str, object],
         trace: Trace | None,
+        *,
+        skeleton: Skeleton | None = None,
+        param_items: list[tuple[str, object]] | None = None,
     ) -> Decision | None:
-        with self._lock:
-            return super().lookup(stmt, bindings, trace)
+        if skeleton is None:
+            skeleton = skeletonize(stmt)  # pure work, outside any lock
+        index = self._stripe_of(skeleton.statement)
+        lock = self._stripe_locks[index]
+        self._acquire(lock)
+        try:
+            return self._stripe_caches[index].lookup(
+                stmt, bindings, trace, skeleton=skeleton, param_items=param_items
+            )
+        finally:
+            lock.release()
 
     def lookup_compiled(
         self,
         stmt: ast.Select,
         bindings: Mapping[str, object],
         trace: Trace | None,
+        *,
+        skeleton: Skeleton | None = None,
+        param_items: list[tuple[str, object]] | None = None,
     ) -> Decision | None:
-        with self._lock:
-            return super().lookup_compiled(stmt, bindings, trace)
+        if skeleton is None:
+            skeleton = skeletonize(stmt)
+        index = self._stripe_of(skeleton.statement)
+        lock = self._stripe_locks[index]
+        self._acquire(lock)
+        try:
+            return self._stripe_caches[index].lookup_compiled(
+                stmt, bindings, trace, skeleton=skeleton, param_items=param_items
+            )
+        finally:
+            lock.release()
+
+    # -- insertion ----------------------------------------------------------------
 
     def store(
         self,
         stmt: ast.Select,
         bindings: Mapping[str, object],
         decision: Decision,
-    ) -> None:
-        with self._lock:
-            before = self.size
-            super().store(stmt, bindings, decision)
-            if self.size > before:
-                self.stores += 1
+        *,
+        skeleton: Skeleton | None = None,
+    ) -> bool:
+        if not decision.allowed or decision.from_cache:
+            return False  # cheap pre-check before skeletonizing
+        if skeleton is None:
+            skeleton = skeletonize(stmt)
+        index = self._stripe_of(skeleton.statement)
+        lock = self._stripe_locks[index]
+        self._acquire(lock)
+        try:
+            inserted = self._stripe_caches[index].store(
+                stmt, bindings, decision, skeleton=skeleton
+            )
+            if inserted:
+                self._stores += 1
+            return inserted
+        finally:
+            lock.release()
 
     def store_block(
         self,
@@ -88,37 +184,137 @@ class SharedDecisionCache(DecisionCache):
         bindings: Mapping[str, object],
         decision: Decision,
         guard_relations: set[str],
-    ) -> None:
-        with self._lock:
-            before = self.size
-            super().store_block(stmt, bindings, decision, guard_relations)
-            if self.size > before:
-                self.stores += 1
+        *,
+        skeleton: Skeleton | None = None,
+    ) -> bool:
+        if decision.allowed or decision.from_cache or decision.facts_considered:
+            return False
+        if skeleton is None:
+            skeleton = skeletonize(stmt)
+        index = self._stripe_of(skeleton.statement)
+        lock = self._stripe_locks[index]
+        self._acquire(lock)
+        try:
+            inserted = self._stripe_caches[index].store_block(
+                stmt, bindings, decision, guard_relations, skeleton=skeleton
+            )
+            if inserted:
+                self._stores += 1
+            return inserted
+        finally:
+            lock.release()
+
+    def _insert_template(self, template: _Template) -> bool:
+        """Route a ready-made template to its stripe (benchmark seeding)."""
+        index = self._stripe_of(template.skeleton_key)
+        lock = self._stripe_locks[index]
+        self._acquire(lock)
+        try:
+            inserted = self._stripe_caches[index]._insert_template(template)
+            if inserted:
+                self._stores += 1
+            return inserted
+        finally:
+            lock.release()
+
+    # -- invalidation -------------------------------------------------------------
 
     def invalidate_table(self, table: str) -> int:
-        with self._lock:
-            return super().invalidate_table(table)
+        evicted = 0
+        for stripe, lock in zip(self._stripe_caches, self._stripe_locks):
+            self._acquire(lock)
+            try:
+                evicted += stripe.invalidate_table(table)
+            finally:
+                lock.release()
+        return evicted
 
     def invalidate_tables(self, tables: Iterable[str]) -> int:
         """Evict templates touching any of ``tables`` (one write's footprint)."""
-        with self._lock:
-            return sum(super(SharedDecisionCache, self).invalidate_table(t) for t in tables)
+        return sum(self.invalidate_table(table) for table in tables)
 
     def clear(self) -> int:
-        with self._lock:
-            return super().clear()
+        dropped = 0
+        for stripe, lock in zip(self._stripe_caches, self._stripe_locks):
+            self._acquire(lock)
+            try:
+                dropped += stripe.clear()
+            finally:
+                lock.release()
+        return dropped
+
+    def iter_templates(self) -> Iterator[_Template]:
+        for stripe in self._stripe_caches:
+            yield from stripe.iter_templates()
+
+    # -- aggregated counters (summed lazily; see module docstring) ----------------
+
+    @property
+    def stripes(self) -> int:
+        return len(self._stripe_caches)
+
+    @property
+    def stripe_contention(self) -> int:
+        return self._contention
+
+    @property
+    def stores(self) -> int:
+        return self._stores
+
+    @property
+    def hits(self) -> int:
+        return sum(stripe.hits for stripe in self._stripe_caches)
+
+    @property
+    def misses(self) -> int:
+        return sum(stripe.misses for stripe in self._stripe_caches)
+
+    @property
+    def invalidations(self) -> int:
+        return sum(stripe.invalidations for stripe in self._stripe_caches)
+
+    @property
+    def invalidate_keys_scanned(self) -> int:
+        return sum(stripe.invalidate_keys_scanned for stripe in self._stripe_caches)
+
+    @property
+    def compiled_hits(self) -> int:
+        return sum(stripe.compiled_hits for stripe in self._stripe_caches)
+
+    @property
+    def compiled_misses(self) -> int:
+        return sum(stripe.compiled_misses for stripe in self._stripe_caches)
+
+    @property
+    def blocks_stored(self) -> int:
+        return sum(stripe.blocks_stored for stripe in self._stripe_caches)
+
+    @property
+    def duplicates_skipped(self) -> int:
+        return sum(stripe.duplicates_skipped for stripe in self._stripe_caches)
+
+    @property
+    def size(self) -> int:
+        return sum(stripe.size for stripe in self._stripe_caches)
+
+    @property
+    def hit_rate(self) -> float:
+        hits = self.hits
+        total = hits + self.misses
+        return hits / total if total else 0.0
 
     def stats(self) -> dict[str, float]:
-        with self._lock:
-            return {
-                "size": self.size,
-                "stores": self.stores,
-                "hits": self.hits,
-                "misses": self.misses,
-                "hit_rate": self.hit_rate,
-                "invalidations": self.invalidations,
-                "compiled_hits": self.compiled_hits,
-                "compiled_misses": self.compiled_misses,
-                "blocks_stored": self.blocks_stored,
-                "duplicates_skipped": self.duplicates_skipped,
-            }
+        return {
+            "size": self.size,
+            "stores": self.stores,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "invalidations": self.invalidations,
+            "compiled_hits": self.compiled_hits,
+            "compiled_misses": self.compiled_misses,
+            "blocks_stored": self.blocks_stored,
+            "duplicates_skipped": self.duplicates_skipped,
+            "stripes": self.stripes,
+            "stripe_contention": self.stripe_contention,
+        }

@@ -287,19 +287,20 @@ class GatewayConnection(EnforcementProxy):
 
     # -- epoch-pinned deciding ---------------------------------------------------
 
-    def decide(self, bound: ast.Select) -> Decision:
+    def decide(self, bound: ast.Select, skeleton=None) -> Decision:
         """Vet a bound SELECT entirely under one policy epoch.
 
         The epoch is read once and pinned for the whole decision — cache
         lookup, fresh check (pooled or in-process), verification, store —
         so a concurrent hot reload can never produce a decision computed
-        against a mix of two policies.
+        against a mix of two policies. ``skeleton`` is the
+        prepared-statement fast path (see ``EnforcementProxy.decide``).
         """
         gateway = self._gateway
         with gateway.epoch as epoch:
             self._pinned_epoch = epoch
             try:
-                decision = super().decide(bound)
+                decision = super().decide(bound, skeleton=skeleton)
             finally:
                 self._pinned_epoch = None
         decision.policy_version = epoch.version
@@ -393,22 +394,30 @@ class GatewayConnection(EnforcementProxy):
             self._gateway.metrics.increment("cache_disagreements")
 
     def _check_fresh(
-        self, bound: ast.Select, trace, allow_compiled: bool = True
+        self, bound: ast.Select, trace, allow_compiled: bool = True, skeleton=None
     ) -> Decision:
         """Cache-miss check: batched/pooled when configured, else direct.
 
         Always runs against the pinned epoch's checker/pool so the
         decision cannot straddle a reload; the pool-failure fallback uses
-        the *same epoch's* in-process checker for the same reason.
+        the *same epoch's* in-process checker for the same reason. The
+        pooled path ignores ``skeleton`` — workers re-parse the shipped
+        SQL text, so a parent-side skeleton would not help them.
         """
         epoch = self._pinned_epoch
         if epoch is None:
-            return super()._check_fresh(bound, trace)
+            return super()._check_fresh(bound, trace, skeleton=skeleton)
         if epoch.pool is None:
             if epoch.batcher is not None and allow_compiled:
-                return epoch.batcher.check(bound, self.session.bindings, trace)
+                return epoch.batcher.check(
+                    bound, self.session.bindings, trace, skeleton=skeleton
+                )
             return epoch.checker.check(
-                bound, self.session.bindings, trace, allow_compiled=allow_compiled
+                bound,
+                self.session.bindings,
+                trace,
+                allow_compiled=allow_compiled,
+                skeleton=skeleton,
             )
         try:
             return epoch.pool.check(
@@ -647,6 +656,11 @@ class EnforcementGateway:
         if epoch.shared_cache is not None:
             for name, value in epoch.shared_cache.stats().items():
                 snapshot.counters[f"shared_cache_{name}"] = value
+            # Top-level alias for the striping instrument (docs/performance.md):
+            # lookups that found their stripe lock busy.
+            snapshot.counters["cache_stripe_contention"] = (
+                epoch.shared_cache.stripe_contention
+            )
         if epoch.skeletons is not None:
             # Top-level compiled-path counters (docs/compilation.md); the
             # cluster router sums these across shards, so numeric only.

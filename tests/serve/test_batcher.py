@@ -27,7 +27,7 @@ class ScriptedChecker:
         self.calls = []
         self._lock = threading.Lock()
 
-    def check(self, stmt, bindings, trace):
+    def check(self, stmt, bindings, trace, skeleton=None):
         if self.gate is not None:
             self.gate.wait()
         if stmt in self.raise_for:
@@ -148,7 +148,7 @@ class TestFallback:
         wedge = threading.Event()
 
         class WedgingChecker(ScriptedChecker):
-            def check(self, stmt, bindings, trace):
+            def check(self, stmt, bindings, trace, skeleton=None):
                 if stmt == "wedged":
                     wedge.wait()  # leader never returns until released
                 return super().check(stmt, bindings, trace)

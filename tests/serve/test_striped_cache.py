@@ -1,0 +1,144 @@
+"""The lock-striped SharedDecisionCache facade.
+
+The striping claim: hot reads take exactly one stripe lock, shapes route
+deterministically by skeleton key, aggregate counters sum across
+stripes, and writers (invalidation, clear) still evict everywhere. The
+soundness of *sharing* is covered by ``test_shared_cache_race.py`` and
+E11; this file pins the striping mechanics.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import EnforcementGateway, GatewayConfig
+from repro.serve.cache import DEFAULT_STRIPES, SharedDecisionCache
+from repro.workloads import calendar_app
+
+
+@pytest.fixture
+def gateway(calendar_policy):
+    db = calendar_app.make_database(size=8, seed=3)
+    return EnforcementGateway(db, calendar_policy, GatewayConfig())
+
+
+class TestStriping:
+    def test_default_stripe_count(self, calendar_policy):
+        cache = SharedDecisionCache(calendar_policy)
+        assert cache.stripes == DEFAULT_STRIPES
+        assert len(cache._stripe_caches) == DEFAULT_STRIPES
+
+    def test_stripe_count_is_configurable_and_validated(self, calendar_policy):
+        assert SharedDecisionCache(calendar_policy, stripes=3).stripes == 3
+        with pytest.raises(ValueError):
+            SharedDecisionCache(calendar_policy, stripes=0)
+
+    def test_same_shape_routes_to_one_stripe(self, gateway):
+        """All parameterizations of one statement shape share a skeleton
+        key, so their templates land in exactly one stripe."""
+        for uid in range(1, 5):
+            gateway.connect(uid).query(
+                "SELECT EId FROM Attendance WHERE UId = ?", [uid]
+            )
+        cache = gateway.shared_cache
+        populated = [s for s in cache._stripe_caches if s.size > 0]
+        assert len(populated) == 1
+        assert cache.size == populated[0].size
+
+    def test_different_shapes_can_spread_across_stripes(self, gateway):
+        connection = gateway.connect(1)
+        shapes = [
+            "SELECT EId FROM Attendance WHERE UId = ?",
+            "SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?",
+            "SELECT UId, EId FROM Attendance WHERE UId = ?",
+        ]
+        connection.query(shapes[0], [1])
+        connection.query(shapes[1], [1, 2])
+        connection.query(shapes[2], [1])
+        cache = gateway.shared_cache
+        # Not asserting an exact spread (hash-dependent), only that the
+        # facade's total equals the per-stripe sum — no template lost.
+        assert cache.size == sum(s.size for s in cache._stripe_caches)
+        assert cache.size >= 1
+
+    def test_hit_and_miss_counters_sum_across_stripes(self, gateway):
+        connection = gateway.connect(1)
+        connection.query("SELECT EId FROM Attendance WHERE UId = ?", [1])  # miss
+        connection.query("SELECT EId FROM Attendance WHERE UId = ?", [1])  # hit
+        cache = gateway.shared_cache
+        assert cache.hits == sum(s.hits for s in cache._stripe_caches) >= 1
+        assert cache.misses == sum(s.misses for s in cache._stripe_caches) >= 1
+        assert 0.0 < cache.hit_rate <= 1.0
+
+    def test_stats_surface_stripe_fields(self, gateway):
+        gateway.connect(1).query("SELECT EId FROM Attendance WHERE UId = ?", [1])
+        stats = gateway.shared_cache.stats()
+        assert stats["stripes"] == DEFAULT_STRIPES
+        assert stats["stripe_contention"] >= 0
+        assert stats["size"] >= 1
+
+    def test_snapshot_exposes_stripe_contention_counter(self, gateway):
+        gateway.connect(1).query("SELECT EId FROM Attendance WHERE UId = ?", [1])
+        snapshot = gateway.snapshot()
+        assert "cache_stripe_contention" in snapshot.counters
+
+
+class TestWriters:
+    def test_invalidate_table_visits_every_stripe(self, gateway):
+        connection = gateway.connect(1)
+        connection.query("SELECT EId FROM Attendance WHERE UId = ?", [1])
+        connection.query("SELECT UId, EId FROM Attendance WHERE UId = ?", [1])
+        cache = gateway.shared_cache
+        assert cache.size >= 2
+        evicted = cache.invalidate_table("Attendance")
+        assert evicted >= 2
+        assert cache.size == 0
+        assert cache.invalidations == evicted
+
+    def test_clear_empties_every_stripe(self, gateway):
+        connection = gateway.connect(1)
+        connection.query("SELECT EId FROM Attendance WHERE UId = ?", [1])
+        connection.query("SELECT UId, EId FROM Attendance WHERE UId = ?", [1])
+        cache = gateway.shared_cache
+        dropped = cache.clear()
+        assert dropped >= 2
+        assert cache.size == 0
+        assert all(s.size == 0 for s in cache._stripe_caches)
+
+    def test_iter_templates_chains_all_stripes(self, gateway):
+        connection = gateway.connect(1)
+        connection.query("SELECT EId FROM Attendance WHERE UId = ?", [1])
+        connection.query("SELECT UId, EId FROM Attendance WHERE UId = ?", [1])
+        cache = gateway.shared_cache
+        assert len(list(cache.iter_templates())) == cache.size
+
+
+class TestContentionCounter:
+    def test_contended_acquire_is_counted(self, calendar_policy):
+        cache = SharedDecisionCache(calendar_policy, stripes=1)
+        lock = cache._stripe_locks[0]
+        lock.acquire()  # simulate another thread holding the stripe
+
+        def blocked_acquire() -> None:
+            cache._acquire(cache._stripe_locks[0])
+            cache._stripe_locks[0].release()
+
+        thread = threading.Thread(target=blocked_acquire)
+        thread.start()
+        # The contender must register before it can proceed.
+        deadline = threading.Event()
+        for _ in range(100):
+            if cache.stripe_contention == 1:
+                break
+            deadline.wait(0.01)
+        lock.release()
+        thread.join()
+        assert cache.stripe_contention == 1
+
+    def test_uncontended_acquire_is_free(self, calendar_policy):
+        cache = SharedDecisionCache(calendar_policy, stripes=2)
+        cache._acquire(cache._stripe_locks[0])
+        cache._stripe_locks[0].release()
+        assert cache.stripe_contention == 0
