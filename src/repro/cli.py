@@ -261,6 +261,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
             policy = policy_from_text(handle.read(), db.schema)
     else:
         policy = app.ground_truth_policy()
+    mining_config = None
+    if args.mine:
+        from repro.mining import MiningConfig
+
+        mining_config = MiningConfig(
+            interval_s=args.mine_interval,
+            mode="auto_promote" if args.mine_auto else "propose_only",
+            audit_sink=args.mine_sink,
+        )
     gateway = EnforcementGateway(
         db,
         policy,
@@ -271,9 +280,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             batch_checks=not args.no_batch,
             backend=args.backend,
             db_path=args.db_path,
+            mining=mining_config,
         ),
     )
     lifecycle = LifecycleManager(gateway, shadow_workers=args.shadow_workers)
+    if lifecycle.mining is not None:
+        lifecycle.mining.start()
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -298,6 +310,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             "  policy lifecycle enabled: POLICY/RELOAD/SHADOW/PROMOTE/ROLLBACK"
             " admin verbs (repro policy-reload, policy-shadow, ...)"
         )
+        if lifecycle.mining is not None:
+            mode = lifecycle.mining.config.mode
+            print(
+                f"  mining service running: mode={mode},"
+                f" cycle every {args.mine_interval}s (repro mine status, ...)"
+            )
         print(
             f"  admission: {config.max_connections} connections,"
             f" {config.max_in_flight} statements in flight;"
@@ -308,6 +326,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             await server.serve_forever()
         finally:
             await server.shutdown()
+            if lifecycle.mining is not None:
+                lifecycle.mining.close()
             gateway.close()
             snapshot = server.metrics.snapshot()
             print("drained; net counters:")
@@ -525,6 +545,89 @@ def cmd_policy_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_mine(args: argparse.Namespace) -> int:
+    """Operator front end for the MINE admin verb (docs/mining.md)."""
+    with _admin_client(args) as admin:
+        if args.action == "status":
+            status = admin.mine_status()
+            print(
+                f"mining: mode={status['mode']}"
+                f" running={status['running']}"
+                f" cycles={status['cycles']} window={status['window']}"
+            )
+            print(
+                f"  mined {status['mined_total']} candidates:"
+                f" {status['promoted']} promoted, {status['rejected']} rejected,"
+                f" by status {status['candidates']}"
+            )
+            print(
+                f"  floor: support >= {status['floor']['min_support']},"
+                f" confidence >= {status['floor']['min_confidence']}"
+                f" (miner fingerprint {status['miner_fingerprint']})"
+            )
+            if status.get("shadowing"):
+                print(f"  shadowing: {status['shadowing']}")
+            stream = status.get("stream", {})
+            if stream:
+                print(
+                    f"  audit stream: {stream.get('records', 0)} records,"
+                    f" {stream.get('dropped', 0)} dropped,"
+                    f" {stream.get('sink_records', 0)} sunk"
+                )
+            return 0
+        if args.action == "candidates":
+            reply = admin.mine_candidates()
+            candidates = reply["candidates"]
+            if not candidates:
+                print("no mined candidates yet")
+                return 1
+            for candidate in candidates:
+                print(
+                    f"{candidate['fingerprint']}  {candidate['kind']:>8}"
+                    f"  {candidate['view']:<6} support={candidate['support']:.4f}"
+                    f" confidence={candidate['confidence']:.4f}"
+                    f"  [{candidate['status']}]"
+                )
+                if candidate.get("disposition"):
+                    print(f"    {candidate['disposition']}")
+                if args.verbose:
+                    print(f"    view sql: {candidate['view_sql']}")
+                    for diagnosis in candidate.get("diagnoses", []):
+                        print("    diagnosis:")
+                        for line in diagnosis.splitlines():
+                            print(f"      {line}")
+            if args.verbose and reply.get("audit"):
+                print("disposition audit:")
+                for entry in reply["audit"]:
+                    print(
+                        f"  #{entry['seq']} {entry['fingerprint'][:8]}"
+                        f" {entry['action']}: {entry['reason']}"
+                    )
+            return 0
+        if args.action == "approve":
+            if not args.fingerprint:
+                print("error: mine approve needs --fingerprint", file=sys.stderr)
+                return 2
+            candidate = admin.mine_approve(args.fingerprint)
+            print(
+                f"approved {candidate['fingerprint']} ({candidate['kind']},"
+                f" view {candidate['view']}): {candidate['disposition']}"
+            )
+            return 0
+        cycle = admin.mine_run()
+        print(
+            f"cycle {cycle['cycle']}: drained {cycle['drained']} audit records"
+            f" (window {cycle['window']}), mined {len(cycle['mined'])} candidates"
+        )
+        if cycle.get("progressed"):
+            progressed = cycle["progressed"]
+            print(
+                f"  shadow candidate {progressed['fingerprint'][:8]}:"
+                f" {progressed['action']}"
+            )
+        return 0
+
+
 def cmd_diagnose(args: argparse.Namespace) -> int:
     from repro.diagnose import diagnose
 
@@ -733,6 +836,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable batched containment checking for in-process misses",
     )
+    net.add_argument(
+        "--mine",
+        action="store_true",
+        help="run the continuous policy-mining service (docs/mining.md)",
+    )
+    net.add_argument(
+        "--mine-interval",
+        type=float,
+        default=30.0,
+        help="seconds between background mining cycles (with --mine)",
+    )
+    net.add_argument(
+        "--mine-auto",
+        action="store_true",
+        help="auto_promote mode: floor-clearing candidates are shadowed and"
+        " promoted through the gates without an operator MINE/APPROVE",
+    )
+    net.add_argument(
+        "--mine-sink",
+        help="durable JSONL sink for the decision-audit stream (with --mine)",
+    )
     net.set_defaults(func=cmd_serve)
 
     cluster = sub.add_parser(
@@ -864,7 +988,7 @@ def build_parser() -> argparse.ArgumentParser:
     pshadow.add_argument("--policy-file", help="candidate policy (start)")
     pshadow.add_argument(
         "--provenance",
-        choices=["hand-written", "extracted", "patched"],
+        choices=["hand-written", "extracted", "patched", "mined"],
         default="extracted",
     )
     pshadow.add_argument("--label", default="")
@@ -891,6 +1015,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     admin_common(pstatus)
     pstatus.set_defaults(func=cmd_policy_status)
+
+    mine = sub.add_parser(
+        "mine", help="drive a running server's policy-mining service"
+    )
+    admin_common(mine)
+    mine.add_argument("action", choices=["status", "candidates", "approve", "run"])
+    mine.add_argument(
+        "--fingerprint", help="candidate content fingerprint (approve)"
+    )
+    mine.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="candidates: include view SQL, diagnoses, and the disposition audit",
+    )
+    mine.set_defaults(func=cmd_mine)
 
     diag = sub.add_parser("diagnose", help="diagnose a blocked query (§5)")
     common(diag)

@@ -11,13 +11,19 @@ unchanged. Its job splits by when a frame arrives:
   with :func:`~repro.cluster.aggregate.aggregate_stats`, plus a
   ``router`` section (routing counters, shard health).
 * Admin verbs (``POLICY``/``RELOAD``/``SHADOW``/``PROMOTE``/
-  ``ROLLBACK``) — fanned out **rolling, shard by shard**: shard *i*
-  finishes its reload (new epoch built, installed, old epoch retired)
+  ``ROLLBACK``/``MINE``) — fanned out **rolling, shard by shard**: shard
+  *i* finishes its reload (new epoch built, installed, old epoch retired)
   before shard *i+1* starts, so at most one shard is mid-swap at any
   time and a fleet-wide reload never has a stop-the-world moment. The
   merged reply keeps the single-server keys (``report``, ``policy``,
   ...) so :class:`~repro.net.client.AdminClient` works unmodified, and
-  adds per-shard replies under ``shards``.
+  adds per-shard replies under ``shards``. Two MINE actions get extra
+  treatment: ``candidates`` merges the per-shard candidate lists by
+  content fingerprint (the same traffic shape mined on two shards yields
+  identical fingerprints — see
+  :func:`repro.mining.miner.reconcile_by_fingerprint`), and ``approve``
+  tolerates shards that never mined the fingerprint, succeeding when at
+  least one shard accepts it.
 
 **At HELLO** the router picks the session's home shard by hashing the
 HELLO's bindings (:func:`shard_index_for` — deterministic across
@@ -64,6 +70,7 @@ _ADMIN_VERBS = (
     protocol.SHADOW,
     protocol.PROMOTE,
     protocol.ROLLBACK,
+    protocol.MINE,
 )
 
 #: Admin verbs whose reply the AdminClient unwraps via a ``report`` key.
@@ -455,8 +462,12 @@ class ClusterRouter:
         """
         self.counters["admin_fanouts"] += 1
         kind = frame.get("type")
+        # A fingerprint is mined per shard: approving it fleet-wide must
+        # tolerate the shards that never saw that traffic shape.
+        tolerant = kind == protocol.MINE and frame.get("action") == "approve"
         per_shard: list[dict] = []
         base: dict | None = None
+        first_error: dict | None = None
         for shard in self._shards:
             if not shard.healthy:
                 per_shard.append({"shard": shard.index, "skipped": "down"})
@@ -473,16 +484,34 @@ class ClusterRouter:
             if reply.get("type") == protocol.ERROR:
                 reply.setdefault("error", f"{kind} failed")
                 reply["error"] = f"shard {shard.index}: {reply['error']}"
+                if tolerant:
+                    per_shard.append(
+                        {"shard": shard.index, "error": reply["error"]}
+                    )
+                    first_error = first_error or reply
+                    continue
                 return reply
             per_shard.append({"shard": shard.index, "reply": reply})
             base = reply
         if base is None:
+            if first_error is not None:
+                return first_error
             return _error(
                 frame.get("id"), protocol.ERR_UNAVAILABLE, "no healthy shards"
             )
         merged = dict(base)
         merged["id"] = frame.get("id")
         merged["shards"] = per_shard
+        if kind == protocol.MINE and frame.get("action") == "candidates":
+            from repro.mining.miner import reconcile_by_fingerprint
+
+            merged["candidates"] = reconcile_by_fingerprint(
+                [
+                    entry["reply"].get("candidates", [])
+                    for entry in per_shard
+                    if "reply" in entry
+                ]
+            )
         return merged
 
 

@@ -74,7 +74,11 @@ class ProxyStats:
 
     ``decisions`` is a bounded ring buffer (newest last): with
     ``record_decisions`` on, an unbounded list would grow forever in a
-    long-lived serving session.
+    long-lived serving session. Overflow is not silent: every decision
+    the ring evicts to make room increments ``audit_dropped``, which the
+    gateway surfaces in ``snapshot()``/STATS — an operator replaying the
+    decision log must be able to tell a complete window from a clipped
+    one.
     """
 
     allowed: int = 0
@@ -84,10 +88,19 @@ class ProxyStats:
     check_seconds: float = 0.0
     execute_seconds: float = 0.0
     decisions: deque[Decision] = field(default_factory=lambda: deque(maxlen=256))
+    #: Decisions evicted from the ``decisions`` ring by the cap.
+    audit_dropped: int = 0
 
     @staticmethod
     def with_cap(decision_log_cap: int) -> "ProxyStats":
         return ProxyStats(decisions=deque(maxlen=max(1, decision_log_cap)))
+
+    def record_decision(self, decision: Decision) -> None:
+        """Append to the ring, counting (not hiding) any eviction."""
+        ring = self.decisions
+        if ring.maxlen is not None and len(ring) == ring.maxlen:
+            self.audit_dropped += 1
+        ring.append(decision)
 
 
 class EnforcementProxy:
@@ -184,11 +197,11 @@ class EnforcementProxy:
         if not decision.allowed:
             self.stats.blocked += 1
             if self.config.record_decisions:
-                self.stats.decisions.append(decision)
+                self.stats.record_decision(decision)
             raise PolicyViolation(decision)
         self.stats.allowed += 1
         if self.config.record_decisions:
-            self.stats.decisions.append(decision)
+            self.stats.record_decision(decision)
         started = time.perf_counter()
         result = self.db.sql(bound)
         execute_seconds = time.perf_counter() - started

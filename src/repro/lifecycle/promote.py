@@ -68,6 +68,14 @@ class GateConfig:
     sensitive_suite: tuple[SensitiveCase, ...] = ()
     max_candidates: int = 2000
     max_diagnoses: int = 5
+    #: Kind-aware divergence caps; ``None`` means no separate cap (only
+    #: the total ``max_divergences`` applies). The mining service
+    #: promotes a gap-filling candidate with ``max_allow_to_block=0`` and
+    #: a loosened total: block→allow flips on the gap traffic are the
+    #: candidate's whole point, while a single allow→block flip would
+    #: regress the application and must stay fatal.
+    max_allow_to_block: int | None = None
+    max_block_to_allow: int | None = None
 
 
 @dataclass(frozen=True)
@@ -155,6 +163,17 @@ def _shadow_gate(shadow: ShadowRunner | None, config: GateConfig) -> Gate:
             f" {stats['allow_to_block']} allow→block,"
             f" {stats['block_to_allow']} block→allow)",
         )
+    for kind, cap in (
+        ("allow_to_block", config.max_allow_to_block),
+        ("block_to_allow", config.max_block_to_allow),
+    ):
+        if cap is not None and stats[kind] > cap:
+            return Gate(
+                "shadow",
+                False,
+                f"{stats[kind]} {kind.replace('_to_', '→')} flips"
+                f" over {checks} checks (> {cap} allowed for this kind)",
+            )
     return Gate(
         "shadow",
         True,

@@ -3,7 +3,8 @@
 Every policy a deployment has ever run (or considered running) gets a
 monotonic version id, a content fingerprint, and a provenance tag saying
 where it came from — hand-written by an operator, extracted from traces
-by the §3 miner, or patched by the §5 diagnosis tooling. The registry
+by the §3 miner, patched by the §5 diagnosis tooling, or mined from the
+live decision audit by the background mining service. The registry
 also remembers the *activation* order, which is what makes rollback
 well-defined: the rollback target is the previously-activated version,
 not merely the previously-registered one.
@@ -22,8 +23,11 @@ from repro.policy.policy import Policy
 from repro.policy.serialize import policy_to_text
 from repro.util.errors import DbacError
 
-#: The provenance tags the lifecycle tooling understands.
-PROVENANCES = ("hand-written", "extracted", "patched")
+#: The provenance tags the lifecycle tooling understands. ``mined`` marks
+#: candidates the background mining service derived from the live
+#: decision audit (repro.mining); ``extracted`` stays reserved for the
+#: offline §3 pipeline run by an operator.
+PROVENANCES = ("hand-written", "extracted", "patched", "mined")
 
 
 class RegistryError(DbacError):

@@ -141,6 +141,26 @@ class LifecycleManager:
         # registry's numbering aligned with the epochs'.
         assert boot.version == gateway.policy_version == 1
         self.registry.record_activation(boot.version)
+        self.mining = None
+        if getattr(gateway.config, "mining", None) is not None:
+            self.enable_mining(gateway.config.mining)
+
+    def enable_mining(self, config=None, stream=None):
+        """Attach a :class:`repro.mining.MiningService` to this manager.
+
+        Called automatically when the gateway was configured with
+        ``GatewayConfig(mining=…)``; callable directly for programmatic
+        setups. The service is created stopped — call
+        ``manager.mining.start()`` (or ``repro serve --mine``) to run the
+        background loop, or drive ``run_once()`` by hand / over the
+        MINE admin verb.
+        """
+        from repro.mining.service import MiningService
+
+        if self.mining is not None:
+            raise LifecycleError("mining service already attached")
+        self.mining = MiningService(self.gateway, self, config=config, stream=stream)
+        return self.mining
 
     # -- reload & rollback --------------------------------------------------------
 
@@ -293,6 +313,8 @@ class LifecycleManager:
         shadow = self.shadow_status()
         if shadow is not None:
             status["shadow"] = shadow
+        if self.mining is not None:
+            status["mining"] = self.mining.status()
         try:
             status["rollback_target"] = self.registry.rollback_target().version
         except RegistryError:

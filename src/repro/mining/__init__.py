@@ -1,0 +1,48 @@
+"""repro.mining — continuous policy mining from the live decision audit.
+
+The paper's position is that enforcement is one leg of the access-control
+lifecycle: policies must also be *extracted, audited, and evolved* from
+application behavior. This package closes that loop for a running
+deployment:
+
+* :class:`AuditStream` taps the gateway's per-decision audit hook into
+  bounded in-process subscriptions and an optional durable JSONL sink,
+  with an explicit ``audit_dropped`` counter instead of silent
+  ring-buffer overwrite.
+* :class:`AuditMiner` turns an accumulated audit window into scored
+  **candidate policies**: *gap-filling* views generalized from observed
+  allows that the current policy version cannot derive, and *tightening*
+  removals of views live traffic never exercises.
+* :class:`MiningService` runs the miner periodically in the background
+  and feeds candidates that clear the support/confidence floor into the
+  existing shadow → gated-promotion pipeline (``repro.lifecycle``),
+  either automatically (``auto_promote``) or parked for an operator's
+  MINE/APPROVE (``propose_only``).
+
+See docs/mining.md for the architecture and the safety model.
+"""
+
+from repro.mining.config import MiningConfig
+from repro.mining.miner import (
+    AuditMiner,
+    MinedCandidate,
+    MiningPassReport,
+    clears_floor,
+    reconcile_by_fingerprint,
+)
+from repro.mining.service import MiningError, MiningService
+from repro.mining.stream import AuditEntry, AuditStream, AuditSubscription
+
+__all__ = [
+    "AuditEntry",
+    "AuditMiner",
+    "AuditStream",
+    "AuditSubscription",
+    "MinedCandidate",
+    "MiningConfig",
+    "MiningError",
+    "MiningPassReport",
+    "MiningService",
+    "clears_floor",
+    "reconcile_by_fingerprint",
+]

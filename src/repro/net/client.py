@@ -505,7 +505,7 @@ class AdminClient:
     Admin verbs need no session (they act on the deployment, like
     STATS), so this client skips HELLO entirely: it opens a socket and
     speaks ``POLICY`` / ``RELOAD`` / ``SHADOW`` / ``PROMOTE`` /
-    ``ROLLBACK`` directly. Every method returns the server's reply
+    ``ROLLBACK`` / ``MINE`` directly. Every method returns the server's reply
     payload or raises :class:`NetError` with the server's error text —
     which, for a policy that fails to parse, carries the offending line
     number from ``policy_from_text``.
@@ -575,6 +575,25 @@ class AdminClient:
 
     def rollback(self) -> dict:
         return self._call({"type": protocol.ROLLBACK})["report"]
+
+    def mine_status(self) -> dict:
+        """The mining service's status section (mode, window, counters)."""
+        return self._call({"type": protocol.MINE, "action": "status"})["mining"]
+
+    def mine_candidates(self) -> dict:
+        """Mined candidates plus the per-candidate disposition audit."""
+        reply = self._call({"type": protocol.MINE, "action": "candidates"})
+        return {"candidates": reply["candidates"], "audit": reply["audit"]}
+
+    def mine_approve(self, fingerprint: str) -> dict:
+        """Submit a parked candidate (by content fingerprint) to shadow."""
+        return self._call(
+            {"type": protocol.MINE, "action": "approve", "fingerprint": fingerprint}
+        )["candidate"]
+
+    def mine_run(self) -> dict:
+        """Force one mining cycle now; returns the cycle summary."""
+        return self._call({"type": protocol.MINE, "action": "run"})["cycle"]
 
     def stats(self) -> dict:
         return self._call({"type": protocol.STATS})

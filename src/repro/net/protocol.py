@@ -60,6 +60,14 @@ started with a :class:`~repro.lifecycle.reload.LifecycleManager`):
   min_recall?}`` — run the promotion gates on the shadowed candidate;
   swaps it in only if every gate passes.
 * ``ROLLBACK {id}`` — restore the previously active version.
+* ``MINE {id, action: "status"|"candidates"|"approve"|"run",
+  fingerprint?}`` — the continuous policy-mining service
+  (``repro.mining``): ``status`` reports the miner section, ``candidates``
+  lists mined candidate policies with scores and dispositions,
+  ``approve`` submits a parked candidate (by content fingerprint) to
+  shadow mode, ``run`` forces one mining cycle now. Requires the server's
+  lifecycle manager to have a mining service attached
+  (``GatewayConfig(mining=…)`` or ``repro serve --mine``).
 
 These are additive message types: a version-1 client that never sends
 them is unaffected, so ``PROTOCOL_VERSION`` stays 1.
@@ -126,6 +134,7 @@ RELOAD = "RELOAD"
 SHADOW = "SHADOW"
 PROMOTE = "PROMOTE"
 ROLLBACK = "ROLLBACK"
+MINE = "MINE"
 
 WELCOME = "WELCOME"
 PREPARED = "PREPARED"

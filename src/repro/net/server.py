@@ -131,9 +131,10 @@ class NetServer:
 
     ``lifecycle`` (a :class:`repro.lifecycle.reload.LifecycleManager`
     bound to the same gateway) enables the policy admin verbs —
-    ``POLICY`` / ``RELOAD`` / ``SHADOW`` / ``PROMOTE`` / ``ROLLBACK`` —
-    and a ``policy`` section in ``STATS``. Without it the admin verbs
-    answer ``ERROR/bad_request``.
+    ``POLICY`` / ``RELOAD`` / ``SHADOW`` / ``PROMOTE`` / ``ROLLBACK`` /
+    ``MINE`` — and a ``policy`` section in ``STATS``. Without it the
+    admin verbs answer ``ERROR/bad_request``; ``MINE`` additionally
+    needs a mining service attached to the manager.
     """
 
     def __init__(
@@ -642,6 +643,8 @@ class NetServer:
                 }
 
             return _admin_guard(frame, do_promote)
+        if kind == protocol.MINE:
+            return self._mine_work(frame, frame_id)
         assert kind == protocol.ROLLBACK
         return _admin_guard(
             frame,
@@ -650,6 +653,68 @@ class NetServer:
                 "id": frame_id,
                 "report": _reload_to_wire(lifecycle.rollback()),
             },
+        )
+
+    def _mine_work(self, frame: dict, frame_id):
+        """Build the worker thunk for one MINE action."""
+        mining = getattr(self.lifecycle, "mining", None)
+        if mining is None:
+            raise NetError(
+                "no mining service attached; start the server with"
+                " GatewayConfig(mining=…) or `repro serve --mine`",
+                code=protocol.ERR_BAD_REQUEST,
+            )
+        action = frame.get("action")
+        if action == "status":
+            return _admin_guard(
+                frame,
+                lambda: {
+                    "type": protocol.MINE,
+                    "id": frame_id,
+                    "action": "status",
+                    "mining": mining.status(),
+                },
+            )
+        if action == "candidates":
+            return _admin_guard(
+                frame,
+                lambda: {
+                    "type": protocol.MINE,
+                    "id": frame_id,
+                    "action": "candidates",
+                    "candidates": mining.candidates_wire(),
+                    "audit": mining.disposition_audit(),
+                },
+            )
+        if action == "approve":
+            fingerprint = frame.get("fingerprint")
+            if not isinstance(fingerprint, str) or not fingerprint:
+                raise NetError(
+                    "MINE approve needs a non-empty 'fingerprint' string",
+                    code=protocol.ERR_BAD_REQUEST,
+                )
+            return _admin_guard(
+                frame,
+                lambda: {
+                    "type": protocol.MINE,
+                    "id": frame_id,
+                    "action": "approve",
+                    "candidate": mining.approve(fingerprint),
+                },
+            )
+        if action == "run":
+            return _admin_guard(
+                frame,
+                lambda: {
+                    "type": protocol.MINE,
+                    "id": frame_id,
+                    "action": "run",
+                    "cycle": mining.run_once(),
+                },
+            )
+        raise NetError(
+            "MINE needs action: 'status', 'candidates', 'approve', or 'run'",
+            code=protocol.ERR_BAD_REQUEST,
         )
 
     async def _handle_statement(
@@ -1086,6 +1151,7 @@ _ADMIN_VERBS = (
     protocol.SHADOW,
     protocol.PROMOTE,
     protocol.ROLLBACK,
+    protocol.MINE,
 )
 
 

@@ -17,8 +17,20 @@ class Policy:
     minimum information the application needs.
     """
 
-    def __init__(self, views: Iterable[View] = (), name: str = "policy"):
+    def __init__(
+        self,
+        views: Iterable[View] = (),
+        name: str = "policy",
+        meta: Mapping[str, str] | None = None,
+    ):
         self.name = name
+        #: Provenance annotations (string key/value pairs) carried through
+        #: the text format as ``# @key value`` directives: the lifecycle
+        #: tooling stamps mined candidates with their source window,
+        #: example decision ids, and miner-config fingerprint here.
+        #: Annotations are presentation metadata: they do not participate
+        #: in :meth:`fingerprint`, equivalence, or enforcement.
+        self.meta: dict[str, str] = dict(meta) if meta else {}
         self._views: dict[str, View] = {}
         for view in views:
             self.add(view)
@@ -126,7 +138,7 @@ class Policy:
 
     def with_view(self, view: View) -> "Policy":
         """A copy of this policy with one more view (for patch candidates)."""
-        copy = Policy(self.views, name=self.name)
+        copy = Policy(self.views, name=self.name, meta=self.meta)
         copy.add(view)
         return copy
 

@@ -11,7 +11,12 @@ Format::
 
 A ``view <name> [-- description]`` header starts a view; subsequent
 indented (or plain) lines up to the next header form its SQL. Blank lines
-and ``#`` comments are ignored between views.
+and ``#`` comments are ignored between views — with one exception:
+``# @key value`` lines are *annotation directives* that round-trip
+through :attr:`repro.policy.policy.Policy.meta`. The mining service
+stamps candidates with ``# @provenance mined``, the source audit window,
+example decision ids, and the miner-config fingerprint this way, so a
+candidate shipped over the wire or parked on disk keeps its provenance.
 """
 
 from __future__ import annotations
@@ -25,6 +30,9 @@ from repro.util.errors import PolicyError
 def policy_to_text(policy: Policy) -> str:
     """Serialize a policy to the text format above."""
     lines = [f"# policy {policy.name}"]
+    for key in sorted(policy.meta):
+        value = str(policy.meta[key]).replace("\n", " ").strip()
+        lines.append(f"# @{key} {value}")
     for view in policy:
         header = f"view {view.name}"
         if view.description:
@@ -43,6 +51,7 @@ def policy_from_text(text: str, schema: SchemaInfo, name: str = "policy") -> Pol
     sends the operator hunting through the whole file.
     """
     views: list[View] = []
+    meta: dict[str, str] = {}
     seen_names: dict[str, int] = {}
     current_name: str | None = None
     current_description = ""
@@ -72,6 +81,15 @@ def policy_from_text(text: str, schema: SchemaInfo, name: str = "policy") -> Pol
 
     for lineno, raw_line in enumerate(text.splitlines(), start=1):
         line = raw_line.strip()
+        if line.startswith("# @") or line.startswith("#@"):
+            directive = line.lstrip("#").strip()[1:]  # strip '#', then '@'
+            key, _, value = directive.partition(" ")
+            if not key:
+                raise PolicyError(
+                    f"line {lineno}: annotation directive without a key ({line!r})"
+                )
+            meta[key] = value.strip()
+            continue
         if not line or line.startswith("#"):
             continue
         if line.startswith("view "):
@@ -97,4 +115,4 @@ def policy_from_text(text: str, schema: SchemaInfo, name: str = "policy") -> Pol
             raise PolicyError(f"line {lineno}: SQL outside of a view block: {line!r}")
         current_sql.append(line)
     flush()
-    return Policy(views, name=name)
+    return Policy(views, name=name, meta=meta)

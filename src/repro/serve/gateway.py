@@ -110,6 +110,11 @@ class GatewayConfig:
     batch_checks: bool = True
     backend: str | None = None
     db_path: str | None = None
+    #: Optional :class:`repro.mining.MiningConfig`: when set, a
+    #: LifecycleManager bound to this gateway auto-attaches a
+    #: MiningService (audit tap + periodic candidate mining). Declarative
+    #: like ``backend``: the gateway itself never reads it.
+    mining: object | None = None
 
     def __post_init__(self) -> None:
         if self.cache_mode not in ("shared", "per-session", "none"):
@@ -324,6 +329,15 @@ class GatewayConnection(EnforcementProxy):
                     allowed=decision.allowed,
                     policy_version=epoch.version,
                     from_cache=decision.from_cache,
+                    views=tuple(
+                        sorted(
+                            {
+                                atom.rel
+                                for rewriting in decision.rewritings
+                                for atom in rewriting.atoms
+                            }
+                        )
+                    ),
                 )
             )
         shadow = gateway.shadow
@@ -452,6 +466,11 @@ class DecisionAuditRecord:
     allowed: bool
     policy_version: int
     from_cache: bool
+    #: Names of the policy views the justification's rewritings leaned on
+    #: (empty for blocks and for decisions with no witnessing rewriting).
+    #: The mining service's tightening detector reads these to find views
+    #: live traffic never exercises.
+    views: tuple = ()
 
 
 class EnforcementGateway:
@@ -685,6 +704,20 @@ class EnforcementGateway:
         if shadow is not None:
             for name, value in shadow.stats().items():
                 snapshot.counters[f"shadow_{name}"] = value
+        # Decision-audit loss accounting: drops from per-session decision
+        # rings plus (when an AuditStream is installed) subscriber-queue
+        # drops. Always present so STATS consumers can alert on it.
+        audit_dropped = sum(
+            connection.stats.audit_dropped for connection in self.connections()
+        )
+        audit = self.decision_audit
+        if audit is not None and hasattr(audit, "stats"):
+            for name, value in audit.stats().items():
+                if name == "dropped":
+                    audit_dropped += value
+                else:
+                    snapshot.counters[f"audit_{name}"] = value
+        snapshot.counters["audit_dropped"] = audit_dropped
         # This process's rewriting-core memo counters (worker-side ones
         # appear under pool_memo_* above).
         for name, value in memo.memo_stats().items():

@@ -109,6 +109,7 @@ _CAL_SQLS = [view.sql for view in calendar_app.ground_truth_policy()]
 
 _NAME_ALPHABET = "abcdefghXYZ0123456789_"
 _DESC_ALPHABET = "abc XYZ0123 .,:-()?"
+_META_KEY_ALPHABET = "abcdefgh0123456789-."
 
 
 @st.composite
@@ -116,8 +117,10 @@ def _serialized_policies(draw) -> tuple[Policy, str]:
     """A random policy over workload views, rendered with random noise.
 
     Randomizes view names, descriptions, definition order, interleaved
-    comment/blank lines, and leading/trailing whitespace — everything
-    the text format is supposed to be insensitive to.
+    comment/blank lines, leading/trailing whitespace, and ``# @key
+    value`` annotation directives (the provenance channel the mining
+    service stamps candidates through) — everything the text format is
+    supposed to be insensitive to, plus everything it must preserve.
     """
     order = draw(st.permutations(list(range(len(_CAL_SQLS)))))
     count = draw(st.integers(min_value=1, max_value=len(_CAL_SQLS)))
@@ -129,7 +132,14 @@ def _serialized_policies(draw) -> tuple[Policy, str]:
         while "--" in description:
             description = description.replace("--", "-")
         views.append(View(name, _CAL_SQLS[sql_index], _CAL_SCHEMA, description.strip()))
-    policy = Policy(views, name="generated")
+    meta = draw(
+        st.dictionaries(
+            st.text(alphabet=_META_KEY_ALPHABET, min_size=1, max_size=12),
+            st.text(alphabet=_DESC_ALPHABET, max_size=24).map(str.strip),
+            max_size=4,
+        )
+    )
+    policy = Policy(views, name="generated", meta=meta)
 
     noise = st.one_of(
         st.just(""),
@@ -157,3 +167,7 @@ class TestRoundTripProperty:
         assert len(restored) == len(policy)
         for view in policy:
             assert views_equivalent(view, restored.view(view.name))
+        # Annotation directives are provenance, not content: they must
+        # round-trip exactly without perturbing the content fingerprint.
+        assert restored.meta == policy.meta
+        assert restored.fingerprint() == policy.fingerprint()

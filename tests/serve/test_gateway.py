@@ -235,6 +235,36 @@ class TestProxyConfigCompat:
         newest = proxy.stats.decisions[-1]
         assert newest.allowed
 
+    def test_ring_overflow_counts_as_audit_dropped(
+        self, calendar_db, calendar_policy
+    ):
+        """Clipping the decision log is never silent: the evictions show
+        up per-proxy and in the gateway-wide snapshot counter."""
+        proxy = EnforcementProxy(
+            calendar_db,
+            calendar_policy,
+            Session.for_user(1),
+            ProxyConfig(record_decisions=True, decision_log_cap=5),
+        )
+        for _ in range(12):
+            proxy.query("SELECT EId FROM Attendance WHERE UId = 1")
+        assert proxy.stats.audit_dropped == 7
+
+        gateway = EnforcementGateway(
+            calendar_db,
+            calendar_policy,
+            GatewayConfig(record_decisions=True, decision_log_cap=3),
+        )
+        try:
+            connection = gateway.connect(1)
+            for eid in range(1, 11):
+                connection.query(
+                    f"SELECT 1 FROM Attendance WHERE UId = 1 AND EId = {eid}"
+                )
+            assert gateway.snapshot().counters["audit_dropped"] == 7
+        finally:
+            gateway.close()
+
 
 class TestCompiledGateway:
     """GatewayConfig.compile_checks / batch_checks wiring and counters."""
